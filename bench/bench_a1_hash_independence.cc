@@ -1,0 +1,87 @@
+// A1 — ablation: hash-family independence for the SJLT.
+//
+// The paper requires Omega(log(1/beta))-wise independent h_r and phi_r
+// (Section 6.1); the exact variance identity (2/k)(||z||^4 - ||z||_4^4)
+// needs 4-wise independent signs. This ablation sweeps the polynomial
+// family's independence and measures (a) deviation from the exact variance
+// formula on an adversarially sparse z, (b) JL failure rate, (c) hash cost.
+// It justifies the library default wise = max(8, ceil(log2(2/beta))).
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+#include "src/jl/sjlt.h"
+#include "src/linalg/vector_ops.h"
+#include "src/stats/welford.h"
+
+namespace dpjl {
+namespace {
+
+void Run() {
+  bench::Banner("A1", "Section 6.1 (hash independence, ablation)",
+                "SJLT variance fidelity and JL quality vs the independence\n"
+                "of the polynomial hash family.");
+
+  const int64_t d = 1024;
+  const int64_t k = 128;
+  const int64_t s = 8;
+  const int64_t kTrials = 6000;
+
+  // Adversarial z: all mass on 4 coordinates — low-independence sign
+  // families are most exposed on few-term cancellations.
+  std::vector<double> z(d, 0.0);
+  z[17] = 1.0;
+  z[256] = -1.0;
+  z[511] = 1.0;
+  z[800] = -1.0;
+  const double z2sq = SquaredNorm(z);
+  const double z4p4 = NormL4Pow4(z);
+
+  TablePrinter table({"wise", "emp_var", "exact_formula", "ratio",
+                      "jl_fail@0.3", "hash_ns"});
+  for (int wise : {2, 4, 8, 16}) {
+    OnlineMoments m;
+    int64_t failures = 0;
+    for (int64_t t = 0; t < kTrials; ++t) {
+      auto sjlt = Sjlt::Create(d, k, s, SjltConstruction::kBlock, wise,
+                               bench::kBenchSeed + static_cast<uint64_t>(t))
+                      .value();
+      const double norm_sq = SquaredNorm(sjlt->Apply(z));
+      m.Add(norm_sq);
+      failures += (std::fabs(norm_sq / z2sq - 1.0) > 0.3);
+    }
+    auto ref = Sjlt::Create(d, k, s, SjltConstruction::kBlock, wise,
+                            bench::kBenchSeed)
+                   .value();
+    const double exact = ref->SquaredNormVariance(z2sq, z4p4);
+    std::vector<double> sink(static_cast<size_t>(k), 0.0);
+    int64_t j = 0;
+    const double col_ns = bench::TimePerCall([&] {
+      ref->AccumulateColumn(j, 1.0, &sink);
+      j = (j + 1) % d;
+    }) * 1e9;
+    table.AddRow({Fmt(wise), FmtSci(m.SampleVariance()), FmtSci(exact),
+                  FmtRatio(m.SampleVariance() / exact),
+                  Fmt(static_cast<double>(failures) / kTrials, 4),
+                  Fmt(col_ns, 1)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected: every row matches the exact formula within MC noise —\n"
+         "the *variance* identity needs only pairwise-independent signs\n"
+         "(they appear squared in the second-moment expansion), a finding\n"
+         "this ablation makes concrete. The paper's Omega(log 1/beta)\n"
+         "requirement buys tail *concentration* (the JL failure probability\n"
+         "bound), not the variance. Hash cost grows linearly with wise —\n"
+         "the constant behind the SJLT's dense-apply time in E5.\n";
+}
+
+}  // namespace
+}  // namespace dpjl
+
+int main() {
+  dpjl::Run();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// A2 — ablation: Kane–Nelson construction (b) "graph" vs (c) "block".
+//
+// The paper analyzes (c) and notes similar arguments apply to (b). Both
+// share the structural sensitivities and the exact variance; they differ
+// in constants: the block construction evaluates s polynomial hashes per
+// column, the graph construction runs a per-column PRNG + Floyd sampling.
+// This ablation measures utility equivalence and the speed difference.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+#include "src/jl/sjlt.h"
+#include "src/linalg/vector_ops.h"
+#include "src/stats/welford.h"
+#include "src/workload/generators.h"
+
+namespace dpjl {
+namespace {
+
+double benchmark_sink_ = 0.0;
+
+void Run() {
+  bench::Banner("A2", "Section 6.1 constructions (b) vs (c), ablation",
+                "Utility equivalence and speed of the two Kane-Nelson\n"
+                "constructions.");
+
+  const int64_t d = 4096;
+  const int64_t k = 256;
+  const int64_t kTrials = 5000;
+  Rng rng(bench::kBenchSeed);
+  const std::vector<double> z = DenseGaussianVector(d, 1.0, &rng);
+  const double z2sq = SquaredNorm(z);
+  const double z4p4 = NormL4Pow4(z);
+
+  TablePrinter table({"construction", "s", "emp_var/exact", "delta1", "delta2",
+                      "col_update_ns", "dense_apply_us"});
+  for (SjltConstruction construction :
+       {SjltConstruction::kBlock, SjltConstruction::kGraph}) {
+    for (int64_t s : {int64_t{4}, int64_t{16}, int64_t{64}}) {
+      OnlineMoments m;
+      for (int64_t t = 0; t < kTrials; ++t) {
+        auto sjlt = Sjlt::Create(d, k, s, construction, 8,
+                                 bench::kBenchSeed + static_cast<uint64_t>(t))
+                        .value();
+        m.Add(SquaredNorm(sjlt->Apply(z)));
+      }
+      auto ref =
+          Sjlt::Create(d, k, s, construction, 8, bench::kBenchSeed).value();
+      const double exact = ref->SquaredNormVariance(z2sq, z4p4);
+      const Sensitivities sens = ref->ExactSensitivities();
+      std::vector<double> sink(static_cast<size_t>(k), 0.0);
+      int64_t j = 0;
+      const double col_ns = bench::TimePerCall([&] {
+        ref->AccumulateColumn(j, 1.0, &sink);
+        j = (j + 1) % d;
+      }) * 1e9;
+      uint64_t unused = 0;
+      const double apply_us = bench::TimePerCall([&] {
+        benchmark_sink_ += SquaredNorm(ref->Apply(z));
+        ++unused;
+      }) * 1e6;
+      table.AddRow({construction == SjltConstruction::kBlock ? "block" : "graph",
+                    Fmt(s), FmtRatio(m.SampleVariance() / exact),
+                    Fmt(sens.l1, 4), Fmt(sens.l2, 4), Fmt(col_ns, 1),
+                    Fmt(apply_us, 1)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected: both constructions match the exact variance (ratio ~x1)\n"
+         "and share Delta_1 = sqrt(s), Delta_2 = 1 exactly; the graph\n"
+         "construction's per-column PRNG beats the block construction's\n"
+         "polynomial hashing on update cost at equal s. Either is a drop-in\n"
+         "for Theorem 3; the library defaults to block (the construction\n"
+         "the paper analyzes in full).\n";
+  (void)benchmark_sink_;
+}
+
+}  // namespace
+}  // namespace dpjl
+
+int main() {
+  dpjl::Run();
+  return 0;
+}

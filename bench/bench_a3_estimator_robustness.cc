@@ -1,0 +1,85 @@
+// A3 — ablation: plain mean vs median-of-means estimation under
+// coordinate corruption.
+//
+// The Lemma-3 estimator averages all k coordinates; a single corrupted
+// coordinate (buggy encoder, adversarial party, bit rot that still parses)
+// shifts the estimate by ~(corruption)^2. The median-of-means variant
+// tolerates a minority of corrupted blocks at the price of a small bias
+// and larger typical error. This sweep quantifies the trade-off and backs
+// the guidance in src/core/estimators.h.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+#include "src/linalg/vector_ops.h"
+#include "src/stats/welford.h"
+#include "src/workload/generators.h"
+
+namespace dpjl {
+namespace {
+
+void Run() {
+  bench::Banner("A3", "estimator robustness (ablation)",
+                "RMSE of mean vs median-of-means estimation as released\n"
+                "sketch coordinates are corrupted (+1e3 each).");
+
+  const int64_t d = 512;
+  const int64_t k = 128;
+  const int64_t groups = 8;
+  SketcherConfig config;
+  config.k_override = k;
+  config.s_override = 8;
+  config.epsilon = 2.0;
+  config.projection_seed = bench::kBenchSeed;
+  auto sketcher = PrivateSketcher::Create(d, config);
+  DPJL_CHECK(sketcher.ok(), sketcher.status().ToString());
+
+  Rng rng(bench::kBenchSeed);
+  const auto [x, y] = PairAtDistance(d, 6.0, &rng);
+  const double cond_target = SquaredNorm(sketcher->transform().Apply(Sub(x, y)));
+
+  TablePrinter table(
+      {"corrupted_coords", "mean_rmse", "median_rmse", "median/mean"});
+  for (int64_t corrupted : {int64_t{0}, int64_t{1}, int64_t{3}, int64_t{7},
+                            int64_t{16}}) {
+    OnlineMoments mean_err;
+    OnlineMoments median_err;
+    for (int64_t t = 0; t < 1500; ++t) {
+      const PrivateSketch a = sketcher->Sketch(x, bench::kBenchSeed + 2 * t);
+      PrivateSketch b = sketcher->Sketch(y, bench::kBenchSeed + 2 * t + 1);
+      std::vector<double> values = b.values();
+      for (int64_t c = 0; c < corrupted; ++c) {
+        values[(7 * c + 3) % k] += 1e3;
+      }
+      const PrivateSketch bad(std::move(values), b.metadata());
+      const double mean_est = EstimateSquaredDistance(a, bad).value();
+      const double median_est =
+          EstimateSquaredDistanceMedianOfMeans(a, bad, groups).value();
+      mean_err.Add((mean_est - cond_target) * (mean_est - cond_target));
+      median_err.Add((median_est - cond_target) * (median_est - cond_target));
+    }
+    const double mean_rmse = std::sqrt(mean_err.mean());
+    const double median_rmse = std::sqrt(median_err.mean());
+    table.AddRow({Fmt(corrupted), Fmt(mean_rmse, 1), Fmt(median_rmse, 1),
+                  FmtRatio(median_rmse / mean_rmse)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected: with 0 corrupted coordinates the plain mean wins\n"
+         "(median/mean > x1: the median pays bias + variance); from 1\n"
+         "corrupted coordinate on, the mean's RMSE explodes (~1e6 per hit)\n"
+         "while the median holds until a majority of its " << groups
+      << " blocks contain\na corruption (this sweep's spread placement "
+         "reaches 7 of " << groups << " blocks at\n16 coordinates, which is "
+         "when the median collapses too).\n";
+}
+
+}  // namespace
+}  // namespace dpjl
+
+int main() {
+  dpjl::Run();
+  return 0;
+}

@@ -1,0 +1,219 @@
+// E10 — Section 2.3.1: discrete and hardened noise generation.
+//
+// Floating-point Laplace sampling leaks privacy through the representation
+// (Mironov); the remedies the paper surveys are implemented here and
+// compared: sampling cost, realized variance vs the continuous target, and
+// the end-to-end estimator cost of each remedy (the snapping mechanism's
+// ~Delta_1/eps extra error; the discrete mechanism's resolution surcharge).
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+#include "src/dp/discrete_mechanism.h"
+#include "src/dp/noise_distribution.h"
+#include "src/dp/snapping.h"
+#include "src/linalg/vector_ops.h"
+#include "src/random/discrete.h"
+#include "src/stats/welford.h"
+#include "src/workload/generators.h"
+
+namespace dpjl {
+namespace {
+
+void SamplerTable() {
+  const double b = 4.0;  // continuous Laplace target scale
+  std::cout << "Samplers at matched scale (continuous Lap(b), b = " << b
+            << " -> variance 2b^2 = " << Fmt(2 * b * b, 1) << "):\n";
+  TablePrinter table({"sampler", "ns_per_sample", "variance", "target_var"});
+  Rng rng(bench::kBenchSeed);
+
+  const auto time_ns = [&](const std::function<double()>& fn) {
+    double sink = 0.0;
+    const double secs = bench::TimePerCall([&] { sink += fn(); });
+    (void)sink;
+    return secs * 1e9;
+  };
+
+  {
+    OnlineMoments m;
+    for (int i = 0; i < 200000; ++i) m.Add(rng.Laplace(b));
+    table.AddRow({"continuous laplace", Fmt(time_ns([&] { return rng.Laplace(b); }), 1),
+                  Fmt(m.SampleVariance(), 2), Fmt(2 * b * b, 2)});
+  }
+  {
+    OnlineMoments m;
+    for (int i = 0; i < 200000; ++i) {
+      m.Add(static_cast<double>(SampleDiscreteLaplace(b, &rng)));
+    }
+    table.AddRow(
+        {"discrete laplace (CKS)",
+         Fmt(time_ns([&] {
+               return static_cast<double>(SampleDiscreteLaplace(b, &rng));
+             }),
+             1),
+         Fmt(m.SampleVariance(), 2), Fmt(DiscreteLaplaceVariance(b), 2)});
+  }
+  {
+    const double sigma = b * std::sqrt(2.0);  // variance-matched Gaussian
+    OnlineMoments m;
+    for (int i = 0; i < 200000; ++i) {
+      m.Add(static_cast<double>(SampleDiscreteGaussian(sigma, &rng)));
+    }
+    table.AddRow(
+        {"discrete gaussian (CKS)",
+         Fmt(time_ns([&] {
+               return static_cast<double>(SampleDiscreteGaussian(sigma, &rng));
+             }),
+             1),
+         Fmt(m.SampleVariance(), 2), Fmt(sigma * sigma, 2)});
+  }
+  {
+    const int64_t n = static_cast<int64_t>(std::llround(8.0 * b * b / 2.0)) * 2;
+    OnlineMoments m;
+    for (int i = 0; i < 200000; ++i) {
+      m.Add(static_cast<double>(SampleCenteredBinomial(n, &rng)));
+    }
+    table.AddRow(
+        {"centered binomial",
+         Fmt(time_ns([&] {
+               return static_cast<double>(SampleCenteredBinomial(n, &rng));
+             }),
+             1),
+         Fmt(m.SampleVariance(), 2), Fmt(static_cast<double>(n) / 4.0, 2)});
+  }
+  table.Print(std::cout);
+}
+
+void MechanismTable() {
+  const int64_t d = 512;
+  const int64_t k = 128;
+  const int64_t s = 8;
+  const double eps = 1.0;
+  const double delta1 = std::sqrt(static_cast<double>(s));
+
+  std::cout << "\nEnd-to-end distance estimation under each remedy (fixed "
+               "SJLT projection):\n";
+  TablePrinter table({"mechanism", "est_mean", "true_cond_target", "emp_var",
+                      "extra_err_vs_laplace"});
+  SketcherConfig config;
+  config.transform = TransformKind::kSjltBlock;
+  config.k_override = k;
+  config.s_override = s;
+  config.epsilon = eps;
+  config.noise_selection = SketcherConfig::NoiseSelection::kLaplace;
+  config.projection_seed = bench::kBenchSeed;
+  auto sketcher = PrivateSketcher::Create(d, config);
+  DPJL_CHECK(sketcher.ok(), sketcher.status().ToString());
+
+  Rng rng(bench::kBenchSeed);
+  const auto [x, y] = PairAtDistance(d, 4.0, &rng);
+  const std::vector<double> sx = sketcher->transform().Apply(x);
+  const std::vector<double> sy = sketcher->transform().Apply(y);
+  const double cond_target = SquaredDistance(sx, sy);
+  const int64_t kTrials = 20000;
+
+  // (a) continuous Laplace baseline.
+  double laplace_rmse = 0.0;
+  {
+    const NoiseDistribution noise = NoiseDistribution::Laplace(delta1 / eps);
+    OnlineMoments m;
+    Rng nrng(bench::kBenchSeed + 1);
+    for (int64_t t = 0; t < kTrials; ++t) {
+      std::vector<double> a = sx;
+      std::vector<double> b = sy;
+      for (double& v : a) v += noise.Sample(&nrng);
+      for (double& v : b) v += noise.Sample(&nrng);
+      m.Add(SquaredDistance(a, b) - 2.0 * k * noise.SecondMoment());
+    }
+    laplace_rmse = std::sqrt(m.SampleVariance() +
+                             (m.mean() - cond_target) * (m.mean() - cond_target));
+    table.AddRow({"continuous laplace", Fmt(m.mean(), 2), Fmt(cond_target, 2),
+                  FmtSci(m.SampleVariance()), "x1.000 (baseline)"});
+  }
+  // (b) snapping mechanism.
+  {
+    const SnappingMechanism snap =
+        SnappingMechanism::Create(delta1, eps, 1e4).value();
+    OnlineMoments m;
+    Rng nrng(bench::kBenchSeed + 2);
+    const double m2_snap =
+        2.0 * (delta1 / eps) * (delta1 / eps) + snap.lambda() * snap.lambda() / 12.0;
+    for (int64_t t = 0; t < kTrials; ++t) {
+      std::vector<double> a = sx;
+      std::vector<double> b = sy;
+      snap.ApplyVector(&a, &nrng);
+      snap.ApplyVector(&b, &nrng);
+      m.Add(SquaredDistance(a, b) - 2.0 * k * m2_snap);
+    }
+    const double rmse = std::sqrt(
+        m.SampleVariance() + (m.mean() - cond_target) * (m.mean() - cond_target));
+    table.AddRow({"snapping (Mironov)", Fmt(m.mean(), 2), Fmt(cond_target, 2),
+                  FmtSci(m.SampleVariance()), FmtRatio(rmse / laplace_rmse)});
+  }
+  // (c) lattice discrete Laplace.
+  {
+    const double resolution =
+        DiscreteLaplaceMechanism::DefaultResolution(delta1, k);
+    const DiscreteLaplaceMechanism mech =
+        DiscreteLaplaceMechanism::Create(delta1, eps, k, resolution).value();
+    OnlineMoments m;
+    Rng nrng(bench::kBenchSeed + 3);
+    for (int64_t t = 0; t < kTrials; ++t) {
+      std::vector<double> a = sx;
+      std::vector<double> b = sy;
+      mech.Apply(&a, &nrng);
+      mech.Apply(&b, &nrng);
+      m.Add(SquaredDistance(a, b) - 2.0 * k * mech.NoiseSecondMoment());
+    }
+    const double rmse = std::sqrt(
+        m.SampleVariance() + (m.mean() - cond_target) * (m.mean() - cond_target));
+    table.AddRow({"discrete laplace lattice", Fmt(m.mean(), 2),
+                  Fmt(cond_target, 2), FmtSci(m.SampleVariance()),
+                  FmtRatio(rmse / laplace_rmse)});
+  }
+  // (d) lattice discrete Gaussian at (eps, delta = 1e-6): the SJLT's
+  // Delta_2 = 1 exactly.
+  {
+    const double delta = 1e-6;
+    const double resolution =
+        DiscreteGaussianMechanism::DefaultResolution(1.0, k);
+    const DiscreteGaussianMechanism mech =
+        DiscreteGaussianMechanism::Create(1.0, eps, delta, k, resolution)
+            .value();
+    OnlineMoments m;
+    Rng nrng(bench::kBenchSeed + 4);
+    for (int64_t t = 0; t < kTrials; ++t) {
+      std::vector<double> a = sx;
+      std::vector<double> b = sy;
+      mech.Apply(&a, &nrng);
+      mech.Apply(&b, &nrng);
+      m.Add(SquaredDistance(a, b) - 2.0 * k * mech.NoiseSecondMoment());
+    }
+    const double rmse = std::sqrt(
+        m.SampleVariance() + (m.mean() - cond_target) * (m.mean() - cond_target));
+    table.AddRow({"discrete gaussian lattice (delta=1e-6)", Fmt(m.mean(), 2),
+                  Fmt(cond_target, 2), FmtSci(m.SampleVariance()),
+                  FmtRatio(rmse / laplace_rmse)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected: discrete samplers match their analytic variances; the\n"
+         "snapping mechanism costs a modest constant factor (its Lambda\n"
+         "rounding, ~Delta_1/eps extra error); the lattice mechanism tracks\n"
+         "the continuous baseline within a few percent at the default\n"
+         "resolution while being hole-free.\n";
+}
+
+}  // namespace
+}  // namespace dpjl
+
+int main() {
+  dpjl::bench::Banner("E10", "Section 2.3.1 (secure noise)",
+                      "Discrete/hardened noise: sampler fidelity + cost, and "
+                      "end-to-end\nestimator impact of each remedy.");
+  dpjl::SamplerTable();
+  dpjl::MechanismTable();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// E2 — Theorem 3: the private Sparser JL transform.
+//
+// Reproduces every claim of the main theorem on one table set:
+//  (1) unbiasedness of E_hat_SJLT,
+//  (2) variance at most 2/k ||z||^4 + O(s/eps^2 ||z||^2 + s^2/eps^4 k)
+//      (we print the exact Lemma-3 value with explicit constants),
+//  (3) pure eps-DP via Lap(sqrt(s)/eps) — the calibration is printed,
+//  (4) O(s) streaming updates,
+//  (5) sketch time O(s ||x||_0 + k) and estimate time O(k).
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+#include "src/core/streaming.h"
+#include "src/core/variance_model.h"
+#include "src/linalg/vector_ops.h"
+#include "src/workload/generators.h"
+
+namespace dpjl {
+namespace {
+
+SketcherConfig SjltConfig(int64_t k, int64_t s, double eps) {
+  SketcherConfig config;
+  config.transform = TransformKind::kSjltBlock;
+  config.k_override = k;
+  config.s_override = s;
+  config.epsilon = eps;
+  config.noise_selection = SketcherConfig::NoiseSelection::kLaplace;
+  config.projection_seed = bench::kBenchSeed;
+  return config;
+}
+
+void UtilityTable() {
+  const int64_t d = 512;
+  const int64_t k = 256;
+  const int64_t s = 16;
+  std::cout << "Utility (fresh projection per trial; Laplace b = sqrt(s)/eps):\n";
+  TablePrinter table({"eps", "true_dist_sq", "est_mean", "bias_in_se", "emp_var",
+                      "thm3_var", "ratio"});
+  Rng rng(bench::kBenchSeed);
+  for (double eps : {0.5, 1.0, 2.0}) {
+    for (double dist : {2.0, 8.0}) {
+      const auto [x, y] = PairAtDistance(d, dist, &rng);
+      const double truth = SquaredDistance(x, y);
+      const double z4p4 = NormL4Pow4(Sub(x, y));
+      const OnlineMoments m = bench::EstimateOverProjections(
+          d, SjltConfig(k, s, eps), x, y, 2500, bench::kBenchSeed + 3);
+      const double predicted =
+          Theorem3SjltLaplaceVariance(k, s, eps, truth, z4p4);
+      const double bias_se =
+          m.StandardError() > 0 ? (m.mean() - truth) / m.StandardError() : 0.0;
+      table.AddRow({Fmt(eps, 1), Fmt(truth, 2), Fmt(m.mean(), 2),
+                    Fmt(bias_se, 2), FmtSci(m.SampleVariance()),
+                    FmtSci(predicted),
+                    FmtRatio(m.SampleVariance() / predicted)});
+    }
+  }
+  table.Print(std::cout);
+}
+
+void EfficiencyTable() {
+  const int64_t d = 1 << 16;
+  const int64_t k = 256;
+  const int64_t s = 16;
+  auto sketcher = PrivateSketcher::Create(d, SjltConfig(k, s, 1.0));
+  DPJL_CHECK(sketcher.ok(), sketcher.status().ToString());
+
+  std::cout << "\nSketch time scales with ||x||_0, not d (d = " << d
+            << ", k = " << k << ", s = " << s << "):\n";
+  TablePrinter table({"nnz", "sketch_us", "us_per_nnz"});
+  Rng rng(bench::kBenchSeed);
+  for (int64_t nnz : {16, 256, 4096, 65536}) {
+    const SparseVector x = RandomSparseVector(d, nnz, 1.0, &rng);
+    uint64_t seed = 0;
+    const double secs = bench::TimePerCall(
+        [&] { sketcher->SketchSparse(x, ++seed); });
+    table.AddRow({Fmt(nnz), Fmt(secs * 1e6, 2),
+                  Fmt(secs * 1e6 / static_cast<double>(nnz), 4)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nStreaming updates (Theorem 3(4)) and estimation (O(k)):\n";
+  StreamingSketcher stream =
+      StreamingSketcher::Create(&*sketcher, bench::kBenchSeed).value();
+  int64_t idx = 0;
+  const double update_secs = bench::TimePerCall([&] {
+    stream.Update(idx % d, 1.0);
+    ++idx;
+  });
+  const SparseVector xa = RandomSparseVector(d, 128, 1.0, &rng);
+  const SparseVector xb = RandomSparseVector(d, 128, 1.0, &rng);
+  const PrivateSketch sa = sketcher->SketchSparse(xa, 1);
+  const PrivateSketch sb = sketcher->SketchSparse(xb, 2);
+  const double est_secs = bench::TimePerCall(
+      [&] { (void)EstimateSquaredDistance(sa, sb).value(); });
+  TablePrinter ops({"operation", "time_ns", "touches"});
+  ops.AddRow({"stream update (O(s))", Fmt(update_secs * 1e9, 1), Fmt(s)});
+  ops.AddRow({"estimate (O(k))", Fmt(est_secs * 1e9, 1), Fmt(k)});
+  ops.Print(std::cout);
+
+  std::cout << "\nPrivacy calibration: " << sketcher->Describe()
+            << "  [pure eps-DP, Delta_1 = sqrt(s) exactly]\n";
+}
+
+}  // namespace
+}  // namespace dpjl
+
+int main() {
+  dpjl::bench::Banner(
+      "E2", "Theorem 3 (private SJLT)",
+      "Unbiasedness + exact-constant variance + O(s||x||_0 + k) sketching\n"
+      "+ O(s) streaming updates + O(k) estimation, pure eps-DP.");
+  dpjl::UtilityTable();
+  dpjl::EfficiencyTable();
+  return 0;
+}

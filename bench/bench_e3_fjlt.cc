@@ -1,0 +1,84 @@
+// E3 — Corollary 1 vs Lemma 8: the two private FJLT variants.
+//
+// Output perturbation (Corollary 1) keeps variance d-free but pays the
+// O(dk) sensitivity-initialization cost (Note 6). Input perturbation
+// (Lemma 8) avoids initialization but the variance picks up d-dependent
+// terms: O(d sigma^2 ||z||^2 + d^2 sigma^4 / k). The d-sweep shows the
+// input-noise variance growing ~linearly in d while output-noise stays flat.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+#include "src/common/timer.h"
+#include "src/linalg/vector_ops.h"
+#include "src/workload/generators.h"
+
+namespace dpjl {
+namespace {
+
+void Run() {
+  bench::Banner("E3", "Corollary 1 vs Lemma 8 (private FJLT)",
+                "Variance of input- vs output-perturbed FJLT across input\n"
+                "dimension d at fixed k, eps, delta.");
+
+  const int64_t k = 128;
+  const double eps = 1.0;
+  const double delta = 1e-6;
+  const double dist = 4.0;
+
+  TablePrinter table({"d", "placement", "emp_var", "model_var", "model_kind",
+                      "init_ms"});
+  Rng rng(bench::kBenchSeed);
+  for (int64_t d : {int64_t{256}, int64_t{1024}, int64_t{4096}}) {
+    const auto [x, y] = PairAtDistance(d, dist, &rng);
+    const double truth = SquaredDistance(x, y);
+    const double z4p4 = NormL4Pow4(Sub(x, y));
+    for (NoisePlacement placement :
+         {NoisePlacement::kOutput, NoisePlacement::kInput,
+          NoisePlacement::kPostHadamard}) {
+      SketcherConfig config;
+      config.transform = TransformKind::kFjlt;
+      config.k_override = k;
+      config.epsilon = eps;
+      config.delta = delta;
+      config.placement = placement;
+      config.noise_selection = SketcherConfig::NoiseSelection::kGaussian;
+      config.projection_seed = bench::kBenchSeed + static_cast<uint64_t>(d);
+
+      Timer init_timer;
+      auto sketcher = PrivateSketcher::Create(d, config);
+      DPJL_CHECK(sketcher.ok(), sketcher.status().ToString());
+      const double init_ms = init_timer.ElapsedSeconds() * 1e3;
+
+      // Input placement has a deterministic sigma, so the unconditional
+      // model applies; both are measured over fresh projections.
+      const OnlineMoments m = bench::EstimateOverProjections(
+          d, config, x, y, 800, bench::kBenchSeed + 29);
+      const VarianceBreakdown model = sketcher->PredictVariance(truth, z4p4);
+      const std::string placement_name =
+          placement == NoisePlacement::kOutput
+              ? "output"
+              : (placement == NoisePlacement::kInput ? "input" : "post-hadamard");
+      table.AddRow({Fmt(d), placement_name, FmtSci(m.SampleVariance()),
+                    FmtSci(model.total()),
+                    model.is_exact ? "exact" : "upper-bound", Fmt(init_ms, 2)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected: output rows flat in d; input rows grow ~linearly in d\n"
+         "(Lemma 8's d sigma^2 ||z||^2 term dominates at these sizes); the\n"
+         "post-hadamard rows (Note 7) match the input rows — the two are\n"
+         "identically distributed for Gaussian noise. The init_ms column\n"
+         "shows output placement paying the sensitivity scan (Note 6) while\n"
+         "the other placements stay near zero.\n";
+}
+
+}  // namespace
+}  // namespace dpjl
+
+int main() {
+  dpjl::Run();
+  return 0;
+}

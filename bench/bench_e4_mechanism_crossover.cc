@@ -1,0 +1,114 @@
+// E4 — Note 5 / eq. (3): Laplace-vs-Gaussian mechanism selection.
+//
+// For the SJLT (Delta_1 = sqrt(s), Delta_2 = 1) the paper's rule says
+// Laplace has lower variance exactly when delta < e^{-Delta_1^2/Delta_2^2}
+// = e^{-s}. The sweep prints the analytic noise variances of both
+// mechanisms, the rule's choice, the actual variance-optimal choice, and an
+// empirical spot check.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+#include "src/core/variance_model.h"
+#include "src/dp/mechanism.h"
+#include "src/jl/sjlt.h"
+#include "src/linalg/vector_ops.h"
+#include "src/workload/generators.h"
+
+namespace dpjl {
+namespace {
+
+void Run() {
+  const int64_t d = 512;
+  const int64_t k = 256;
+  const int64_t s = 8;
+  const double eps = 1.0;
+  const double dist_sq = 16.0;
+  const double z4p4 = 1.0;
+
+  bench::Banner("E4", "Note 5, eq. (3)",
+                "Mechanism selection on the SJLT: Laplace wins iff delta <\n"
+                "e^{-s}. s = 8, so the crossover sits at delta ~ " +
+                    FmtSci(std::exp(-static_cast<double>(s))) + ".");
+
+  auto transform =
+      Sjlt::Create(d, k, s, SjltConstruction::kBlock, 8, bench::kBenchSeed)
+          .value();
+  const Sensitivities sens = transform->ExactSensitivities();
+  const double b = LaplaceScale(sens.l1, eps);
+  const VarianceBreakdown laplace_model = PredictVarianceOutput(
+      *transform, NoiseDistribution::Laplace(b), dist_sq, z4p4);
+  const double laplace_noise_var =
+      laplace_model.noise_distance_term + laplace_model.noise_constant_term;
+
+  TablePrinter table({"delta", "laplace_noise_var", "gaussian_noise_var",
+                      "note5_rule", "exact_rule", "variance_winner"});
+  for (double delta : {1e-1, 1e-2, 1e-3, 3.3e-4, 1e-4, 1e-5, 1e-7, 1e-9}) {
+    const double sigma = GaussianSigma(sens.l2, eps, delta);
+    const VarianceBreakdown gauss_model = PredictVarianceOutput(
+        *transform, NoiseDistribution::Gaussian(sigma), dist_sq, z4p4);
+    const double gauss_noise_var =
+        gauss_model.noise_distance_term + gauss_model.noise_constant_term;
+    const bool rule_laplace = LaplacePreferred(sens, delta);
+    const bool exact_laplace =
+        LaplacePreferredExact(*transform, eps, delta, dist_sq, z4p4);
+    const bool actual_laplace = laplace_noise_var < gauss_noise_var;
+    table.AddRow({FmtSci(delta), FmtSci(laplace_noise_var),
+                  FmtSci(gauss_noise_var),
+                  rule_laplace ? "laplace" : "gaussian",
+                  exact_laplace ? "laplace" : "gaussian",
+                  actual_laplace ? "laplace" : "gaussian"});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nEmpirical spot check (fixed projection, 3000 noise draws "
+               "each side of the crossover):\n";
+  TablePrinter emp({"delta", "mechanism", "emp_var", "model_var"});
+  Rng rng(bench::kBenchSeed);
+  const auto [x, y] = PairAtDistance(d, std::sqrt(dist_sq), &rng);
+  const double sz2 = SquaredNorm(transform->Apply(Sub(x, y)));
+  for (double delta : {1e-2, 1e-7}) {
+    for (bool laplace : {true, false}) {
+      SketcherConfig config;
+      config.transform = TransformKind::kSjltBlock;
+      config.k_override = k;
+      config.s_override = s;
+      config.epsilon = eps;
+      config.delta = delta;
+      config.noise_selection = laplace
+                                   ? SketcherConfig::NoiseSelection::kLaplace
+                                   : SketcherConfig::NoiseSelection::kGaussian;
+      config.projection_seed = bench::kBenchSeed;
+      auto sketcher = PrivateSketcher::Create(d, config);
+      DPJL_CHECK(sketcher.ok(), sketcher.status().ToString());
+      const OnlineMoments m =
+          bench::EstimateOverNoise(*sketcher, x, y, 3000, bench::kBenchSeed);
+      const double m2 = sketcher->mechanism().distribution().SecondMoment();
+      const double m4 = sketcher->mechanism().distribution().FourthMoment();
+      const double conditional =
+          8.0 * m2 * sz2 + 2.0 * static_cast<double>(sketcher->output_dim()) *
+                               (m4 + m2 * m2);
+      emp.AddRow({FmtSci(delta), laplace ? "laplace" : "gaussian",
+                  FmtSci(m.SampleVariance()), FmtSci(conditional)});
+    }
+  }
+  emp.Print(std::cout);
+  std::cout
+      << "\nExpected: note5_rule matches the winner away from the crossover;\n"
+         "inside a constant-width window just below e^{-s} the Laplace's\n"
+         "heavier fourth moment (56 k b^4 vs the Gaussian's 8 k sigma^4)\n"
+         "keeps Gaussian ahead although its second moment is larger — the\n"
+         "exact_rule column (library's LaplacePreferredExact) tracks the\n"
+         "variance_winner on every row. Empirically Laplace wins at\n"
+         "delta = 1e-7 and loses at delta = 1e-2.\n";
+}
+
+}  // namespace
+}  // namespace dpjl
+
+int main() {
+  dpjl::Run();
+  return 0;
+}

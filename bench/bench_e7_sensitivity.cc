@@ -1,0 +1,102 @@
+// E7 — Note 1/2 and Section 2.1.1: sensitivity distributions and the
+// initialization cost.
+//
+// The iid Gaussian transform's Delta_2 concentrates near 1 but is unbounded
+// across draws — the privacy pitfall Kenthapadi et al. hide under delta.
+// The SJLT has Delta_1 = sqrt(s), Delta_2 = 1 *exactly*, for every draw,
+// with no scan. The tables show (a) the ensemble distribution of exact
+// sensitivities per transform family, and (b) the O(dk) cost of computing
+// them exactly where structure does not give them for free.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+#include "src/common/timer.h"
+#include "src/jl/make_transform.h"
+
+namespace dpjl {
+namespace {
+
+void EnsembleTable() {
+  const int64_t d = 1024;
+  const int64_t k = 128;
+  const int64_t s = 8;
+  const int64_t kInstances = 200;
+
+  std::cout << "Ensemble of " << kInstances << " draws, d = " << d
+            << ", k = " << k << ", s = " << s << ":\n";
+  TablePrinter table({"transform", "l2_mean", "l2_p99", "l2_max", "l1_mean",
+                      "l1_max", "structural"});
+  for (TransformKind kind :
+       {TransformKind::kGaussianIid, TransformKind::kFjlt,
+        TransformKind::kSjltBlock, TransformKind::kSjltGraph,
+        TransformKind::kAchlioptas, TransformKind::kSparseUniform}) {
+    std::vector<double> l1s;
+    std::vector<double> l2s;
+    for (int64_t i = 0; i < kInstances; ++i) {
+      auto t = MakeTransformExplicit(kind, d, k, s, 0.05,
+                                     bench::kBenchSeed + static_cast<uint64_t>(i))
+                   .value();
+      const Sensitivities sens = t->ExactSensitivities();
+      l1s.push_back(sens.l1);
+      l2s.push_back(sens.l2);
+    }
+    std::sort(l1s.begin(), l1s.end());
+    std::sort(l2s.begin(), l2s.end());
+    const auto mean = [](const std::vector<double>& v) {
+      double acc = 0.0;
+      for (double x : v) acc += x;
+      return acc / static_cast<double>(v.size());
+    };
+    const bool structural =
+        kind == TransformKind::kSjltBlock || kind == TransformKind::kSjltGraph;
+    table.AddRow({TransformKindName(kind), Fmt(mean(l2s), 4),
+                  Fmt(l2s[static_cast<size_t>(0.99 * kInstances)], 4),
+                  Fmt(l2s.back(), 4), Fmt(mean(l1s), 3), Fmt(l1s.back(), 3),
+                  FmtBool(structural)});
+  }
+  table.Print(std::cout);
+}
+
+void InitCostTable() {
+  std::cout << "\nExact-sensitivity initialization cost (the O(dk) scan of "
+               "Section 2.1.1):\n";
+  TablePrinter table({"transform", "d", "init_ms"});
+  const int64_t k = 128;
+  for (TransformKind kind : {TransformKind::kGaussianIid, TransformKind::kFjlt,
+                             TransformKind::kSjltBlock}) {
+    for (int64_t d : {int64_t{1} << 10, int64_t{1} << 12, int64_t{1} << 14}) {
+      auto t = MakeTransformExplicit(kind, d, k, 8, 0.05,
+                                     bench::kBenchSeed + static_cast<uint64_t>(d))
+                   .value();
+      Timer timer;
+      (void)t->ExactSensitivities();
+      table.AddRow({TransformKindName(kind), Fmt(d),
+                    Fmt(timer.ElapsedSeconds() * 1e3, 3)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: iid/FJLT init grows ~linearly in d (O(dk) and\n"
+               "O(kd log d)); SJLT rows stay at ~0 (structural constants).\n"
+               "The l2_max column above shows the iid tail the paper warns\n"
+               "about: some draws exceed the 'typical' sensitivity, so noise\n"
+               "calibrated to a fixed assumed bound silently under-protects.\n"
+               "The sparse-uniform (with-replacement) row shows why Theorem 3\n"
+               "uses Kane-Nelson: collisions push its l2 sensitivity above 1\n"
+               "even though it is exactly as sparse as the SJLT.\n";
+}
+
+}  // namespace
+}  // namespace dpjl
+
+int main() {
+  dpjl::bench::Banner("E7", "Note 1/2, Section 2.1.1",
+                      "Sensitivity distributions across transform families "
+                      "and the\ninitialization cost of exact calibration.");
+  dpjl::EnsembleTable();
+  dpjl::InitCostTable();
+  return 0;
+}

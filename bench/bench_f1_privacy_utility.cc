@@ -1,0 +1,130 @@
+// F1 — the privacy–utility frontier (figure-style series).
+//
+// The paper has no empirical figures; this bench renders the one a reader
+// would sketch from its theorems: estimator standard error as a function
+// of the privacy budget eps, one series per construction, at fixed JL
+// quality. Shapes to expect from the theory:
+//   * every private series decays ~1/eps^2 until the eps-independent JL
+//     term (2/k ||z||^4) takes over,
+//   * SJLT+Laplace (pure DP) vs iid+Gaussian ordering depends on delta
+//     (E6); at delta = 1e-9 < e^{-s}, SJLT wins everywhere,
+//   * the FJLT-input series pays the d-dependent penalty (E3).
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+#include "src/core/variance_model.h"
+#include "src/linalg/vector_ops.h"
+#include "src/workload/generators.h"
+
+namespace dpjl {
+namespace {
+
+void Run() {
+  const int64_t d = 1024;
+  const int64_t k = 256;
+  const int64_t s = 8;
+  const double delta = 1e-9;
+  const double dist = 8.0;
+
+  bench::Banner(
+      "F1", "privacy-utility frontier (figure)",
+      "Predicted (and spot-measured) stderr of the squared-distance\n"
+      "estimate vs eps; d=1024, k=256, s=8, delta=1e-9 (< e^{-s}),\n"
+      "true ||x-y||^2 = 64.");
+
+  Rng rng(bench::kBenchSeed);
+  const auto [x, y] = PairAtDistance(d, dist, &rng);
+  const double truth = SquaredDistance(x, y);
+  const double z4p4 = NormL4Pow4(Sub(x, y));
+
+  const auto config_for = [&](TransformKind kind, NoisePlacement placement,
+                              SketcherConfig::NoiseSelection noise,
+                              double eps) {
+    SketcherConfig config;
+    config.transform = kind;
+    config.k_override = k;
+    config.s_override = s;
+    config.epsilon = eps;
+    config.delta =
+        noise == SketcherConfig::NoiseSelection::kLaplace ? 0.0 : delta;
+    config.placement = placement;
+    config.noise_selection = noise;
+    config.projection_seed = bench::kBenchSeed;
+    return config;
+  };
+
+  TablePrinter table({"eps", "sjlt_laplace", "iid_gaussian", "fjlt_input",
+                      "jl_floor(no noise)"});
+  for (double eps : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    std::vector<std::string> row = {Fmt(eps, 3)};
+    for (int series = 0; series < 3; ++series) {
+      SketcherConfig config;
+      if (series == 0) {
+        config = config_for(TransformKind::kSjltBlock, NoisePlacement::kOutput,
+                            SketcherConfig::NoiseSelection::kLaplace, eps);
+      } else if (series == 1) {
+        config = config_for(TransformKind::kGaussianIid, NoisePlacement::kOutput,
+                            SketcherConfig::NoiseSelection::kGaussian, eps);
+      } else {
+        config = config_for(TransformKind::kFjlt, NoisePlacement::kInput,
+                            SketcherConfig::NoiseSelection::kGaussian, eps);
+      }
+      auto sketcher = PrivateSketcher::Create(d, config);
+      DPJL_CHECK(sketcher.ok(), sketcher.status().ToString());
+      row.push_back(
+          FmtSci(std::sqrt(sketcher->PredictVariance(truth, z4p4).total())));
+    }
+    // The eps-independent JL floor.
+    SketcherConfig floor_config =
+        config_for(TransformKind::kSjltBlock, NoisePlacement::kOutput,
+                   SketcherConfig::NoiseSelection::kNone, 1.0);
+    auto floor_sketcher = PrivateSketcher::Create(d, floor_config);
+    DPJL_CHECK(floor_sketcher.ok(), floor_sketcher.status().ToString());
+    row.push_back(
+        FmtSci(std::sqrt(floor_sketcher->PredictVariance(truth, z4p4).total())));
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nEmpirical spot check at eps = 1 (1200 fresh projections "
+               "each):\n";
+  TablePrinter emp({"series", "pred_stderr", "emp_stderr"});
+  struct Spot {
+    std::string name;
+    SketcherConfig config;
+  };
+  const std::vector<Spot> spots = {
+      {"sjlt_laplace", config_for(TransformKind::kSjltBlock,
+                                  NoisePlacement::kOutput,
+                                  SketcherConfig::NoiseSelection::kLaplace, 1.0)},
+      {"fjlt_input", config_for(TransformKind::kFjlt, NoisePlacement::kInput,
+                                SketcherConfig::NoiseSelection::kGaussian, 1.0)},
+  };
+  for (const Spot& spot : spots) {
+    auto sketcher = PrivateSketcher::Create(d, spot.config);
+    DPJL_CHECK(sketcher.ok(), sketcher.status().ToString());
+    const OnlineMoments m = bench::EstimateOverProjections(
+        d, spot.config, x, y, 1200, bench::kBenchSeed + 51);
+    emp.AddRow({spot.name,
+                FmtSci(std::sqrt(sketcher->PredictVariance(truth, z4p4).total())),
+                FmtSci(std::sqrt(m.SampleVariance()))});
+  }
+  emp.Print(std::cout);
+  std::cout
+      << "\nExpected: all private series fall ~x16 per eps doubling pair\n"
+         "(1/eps^2) until they flatten onto the JL floor; sjlt_laplace\n"
+         "dominates iid_gaussian at this delta; fjlt_input sits highest\n"
+         "(d-dependent terms). Empirical stderr tracks predictions (the\n"
+         "fjlt_input prediction is an upper bound).\n";
+}
+
+}  // namespace
+}  // namespace dpjl
+
+int main() {
+  dpjl::Run();
+  return 0;
+}

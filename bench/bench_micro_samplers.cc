@@ -1,0 +1,66 @@
+// M2 — micro-benchmarks for noise sampling (Section 6.2.2 assumes constant
+// time per sample; these bound the constants).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/random/discrete.h"
+#include "src/random/kwise_hash.h"
+#include "src/random/rng.h"
+
+namespace dpjl {
+namespace {
+
+void BM_Uniform64(benchmark::State& state) {
+  Rng rng(bench::kBenchSeed);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.NextUint64());
+}
+
+void BM_Gaussian(benchmark::State& state) {
+  Rng rng(bench::kBenchSeed);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Gaussian());
+}
+
+void BM_Laplace(benchmark::State& state) {
+  Rng rng(bench::kBenchSeed);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Laplace(2.0));
+}
+
+void BM_DiscreteLaplace(benchmark::State& state) {
+  Rng rng(bench::kBenchSeed);
+  const double t = static_cast<double>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(SampleDiscreteLaplace(t, &rng));
+}
+
+void BM_DiscreteGaussian(benchmark::State& state) {
+  Rng rng(bench::kBenchSeed);
+  const double sigma = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleDiscreteGaussian(sigma, &rng));
+  }
+}
+
+void BM_CenteredBinomial(benchmark::State& state) {
+  Rng rng(bench::kBenchSeed);
+  const int64_t n = state.range(0);
+  for (auto _ : state) benchmark::DoNotOptimize(SampleCenteredBinomial(n, &rng));
+}
+
+void BM_KwiseHash(benchmark::State& state) {
+  KwiseHash h(static_cast<int>(state.range(0)), bench::kBenchSeed);
+  uint64_t x = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(h.Eval(++x));
+}
+
+BENCHMARK(BM_Uniform64);
+BENCHMARK(BM_Gaussian);
+BENCHMARK(BM_Laplace);
+BENCHMARK(BM_DiscreteLaplace)->Arg(2)->Arg(64);
+BENCHMARK(BM_DiscreteGaussian)->Arg(2)->Arg(64);
+BENCHMARK(BM_CenteredBinomial)->Arg(64)->Arg(1024);
+BENCHMARK(BM_KwiseHash)->Arg(2)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace dpjl
+
+BENCHMARK_MAIN();

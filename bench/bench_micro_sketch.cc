@@ -1,0 +1,88 @@
+// M3 — micro-benchmarks for the end-to-end sketch pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/estimators.h"
+#include "src/core/sketcher.h"
+#include "src/core/streaming.h"
+#include "src/workload/generators.h"
+
+namespace dpjl {
+namespace {
+
+PrivateSketcher MakeSketcher(int64_t d) {
+  SketcherConfig config;
+  config.k_override = 256;
+  config.s_override = 16;
+  config.epsilon = 1.0;
+  config.projection_seed = bench::kBenchSeed;
+  auto s = PrivateSketcher::Create(d, config);
+  DPJL_CHECK(s.ok(), s.status().ToString());
+  return std::move(s).value();
+}
+
+void BM_SketchDense(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  const PrivateSketcher sketcher = MakeSketcher(d);
+  Rng rng(bench::kBenchSeed);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+  uint64_t seed = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(sketcher.Sketch(x, ++seed));
+}
+
+void BM_SketchSparse(benchmark::State& state) {
+  const int64_t d = 1 << 16;
+  const PrivateSketcher sketcher = MakeSketcher(d);
+  Rng rng(bench::kBenchSeed);
+  const SparseVector x = RandomSparseVector(d, state.range(0), 1.0, &rng);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketcher.SketchSparse(x, ++seed));
+  }
+}
+
+void BM_StreamUpdate(benchmark::State& state) {
+  const int64_t d = 1 << 16;
+  const PrivateSketcher sketcher = MakeSketcher(d);
+  StreamingSketcher stream =
+      StreamingSketcher::Create(&sketcher, bench::kBenchSeed).value();
+  int64_t j = 0;
+  for (auto _ : state) {
+    stream.Update(j, 1.0);
+    j = (j + 1) % d;
+  }
+}
+
+void BM_Estimate(benchmark::State& state) {
+  const PrivateSketcher sketcher = MakeSketcher(1024);
+  Rng rng(bench::kBenchSeed);
+  const PrivateSketch a =
+      sketcher.Sketch(DenseGaussianVector(1024, 1.0, &rng), 1);
+  const PrivateSketch b =
+      sketcher.Sketch(DenseGaussianVector(1024, 1.0, &rng), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateSquaredDistance(a, b).value());
+  }
+}
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  const PrivateSketcher sketcher = MakeSketcher(1024);
+  Rng rng(bench::kBenchSeed);
+  const PrivateSketch a =
+      sketcher.Sketch(DenseGaussianVector(1024, 1.0, &rng), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrivateSketch::Deserialize(a.Serialize()).value());
+  }
+}
+
+BENCHMARK(BM_SketchDense)->Arg(1 << 10)->Arg(1 << 14);
+BENCHMARK(BM_SketchSparse)->Arg(16)->Arg(1024);
+BENCHMARK(BM_StreamUpdate);
+BENCHMARK(BM_Estimate);
+BENCHMARK(BM_SerializeRoundTrip);
+
+}  // namespace
+}  // namespace dpjl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// M1 — micro-benchmarks for transform application (Theorem 3(5), Lemma 5).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/jl/make_transform.h"
+#include "src/workload/generators.h"
+
+namespace dpjl {
+namespace {
+
+constexpr int64_t kK = 256;
+constexpr int64_t kS = 16;
+
+std::unique_ptr<LinearTransform> Make(TransformKind kind, int64_t d) {
+  return MakeTransformExplicit(kind, d, kK, kS, 0.05, bench::kBenchSeed).value();
+}
+
+void BM_ApplyDense(benchmark::State& state, TransformKind kind) {
+  const int64_t d = state.range(0);
+  auto t = Make(kind, d);
+  Rng rng(bench::kBenchSeed);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t->Apply(x));
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+
+void BM_ApplySparse(benchmark::State& state, TransformKind kind) {
+  const int64_t d = 1 << 14;
+  const int64_t nnz = state.range(0);
+  auto t = Make(kind, d);
+  Rng rng(bench::kBenchSeed);
+  const SparseVector x = RandomSparseVector(d, nnz, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t->ApplySparse(x));
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+}
+
+void BM_AccumulateColumn(benchmark::State& state, TransformKind kind) {
+  const int64_t d = 1 << 14;
+  auto t = Make(kind, d);
+  std::vector<double> y(static_cast<size_t>(t->output_dim()), 0.0);
+  int64_t j = 0;
+  for (auto _ : state) {
+    t->AccumulateColumn(j, 1.0, &y);
+    j = (j + 1) % d;
+  }
+  benchmark::DoNotOptimize(y.data());
+}
+
+BENCHMARK_CAPTURE(BM_ApplyDense, sjlt_block, TransformKind::kSjltBlock)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_ApplyDense, fjlt, TransformKind::kFjlt)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_ApplyDense, gaussian_iid, TransformKind::kGaussianIid)
+    ->Arg(1 << 10)
+    ->Arg(1 << 13);
+BENCHMARK_CAPTURE(BM_ApplySparse, sjlt_block, TransformKind::kSjltBlock)
+    ->Arg(16)
+    ->Arg(1024);
+BENCHMARK_CAPTURE(BM_ApplySparse, sjlt_graph, TransformKind::kSjltGraph)
+    ->Arg(16)
+    ->Arg(1024);
+BENCHMARK_CAPTURE(BM_AccumulateColumn, sjlt_block, TransformKind::kSjltBlock);
+BENCHMARK_CAPTURE(BM_AccumulateColumn, sjlt_graph, TransformKind::kSjltGraph);
+
+}  // namespace
+}  // namespace dpjl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+#ifndef DPJL_BENCH_BENCH_UTIL_H_
+#define DPJL_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/timer.h"
+#include "src/core/estimators.h"
+#include "src/core/sketcher.h"
+#include "src/stats/welford.h"
+
+namespace dpjl::bench {
+
+inline constexpr uint64_t kBenchSeed = 0xBE9C45EEDULL;
+
+/// Prints the experiment banner: id, paper anchor, and what the table shows.
+inline void Banner(const std::string& id, const std::string& anchor,
+                   const std::string& description) {
+  std::cout << "\n=== " << id << " — " << anchor << " ===\n"
+            << description << "\n\n";
+}
+
+/// Distribution of the estimator over the *noise* with the projection fixed
+/// (the deployed setting: one public projection, many releases).
+inline OnlineMoments EstimateOverNoise(const PrivateSketcher& sketcher,
+                                       const std::vector<double>& x,
+                                       const std::vector<double>& y,
+                                       int64_t trials, uint64_t seed) {
+  OnlineMoments m;
+  for (int64_t t = 0; t < trials; ++t) {
+    const PrivateSketch sa = sketcher.Sketch(x, seed + 2 * t + 1);
+    const PrivateSketch sb = sketcher.Sketch(y, seed + 2 * t + 2);
+    m.Add(EstimateSquaredDistance(sa, sb).value());
+  }
+  return m;
+}
+
+/// Distribution of the estimator over projection AND noise (the paper's
+/// theorem-level randomness): a fresh sketcher per trial.
+inline OnlineMoments EstimateOverProjections(int64_t d, SketcherConfig config,
+                                             const std::vector<double>& x,
+                                             const std::vector<double>& y,
+                                             int64_t trials, uint64_t seed) {
+  OnlineMoments m;
+  for (int64_t t = 0; t < trials; ++t) {
+    config.projection_seed = seed + static_cast<uint64_t>(t);
+    auto sketcher = PrivateSketcher::Create(d, config);
+    DPJL_CHECK(sketcher.ok(), sketcher.status().ToString());
+    const PrivateSketch sa = sketcher->Sketch(x, seed + 2 * t + 1);
+    const PrivateSketch sb = sketcher->Sketch(y, seed + 2 * t + 2);
+    m.Add(EstimateSquaredDistance(sa, sb).value());
+  }
+  return m;
+}
+
+/// Median-of-5 wall-clock seconds for `fn()`, each sample averaging enough
+/// repetitions to exceed `min_sample_seconds`.
+inline double TimePerCall(const std::function<void()>& fn,
+                          double min_sample_seconds = 0.01) {
+  std::vector<double> samples;
+  for (int s = 0; s < 5; ++s) {
+    int64_t reps = 0;
+    Timer timer;
+    do {
+      fn();
+      ++reps;
+    } while (timer.ElapsedSeconds() < min_sample_seconds);
+    samples.push_back(timer.ElapsedSeconds() / static_cast<double>(reps));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[2];
+}
+
+}  // namespace dpjl::bench
+
+#endif  // DPJL_BENCH_BENCH_UTIL_H_

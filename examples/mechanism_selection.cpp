@@ -1,0 +1,78 @@
+// Mechanism selection in practice — Note 5 of the paper as a library
+// feature.
+//
+// Given a privacy budget (eps, delta), should a deployment add Laplace or
+// Gaussian noise to its SJLT sketches? The sketcher answers automatically
+// (NoiseSelection::kAuto); this example sweeps budgets and prints the
+// decision, the resulting guarantee, and the predicted estimator standard
+// error for a reference workload — including the exact fourth-moment-aware
+// rule where it differs from the paper's first-order one.
+//
+// Build & run:  ./build/examples/mechanism_selection
+
+#include <cmath>
+#include <iostream>
+
+#include "src/common/table_printer.h"
+#include "src/core/sketcher.h"
+#include "src/core/variance_model.h"
+#include "src/jl/dims.h"
+
+int main() {
+  using namespace dpjl;
+
+  const int64_t d = 8192;
+  const double alpha = 0.1;
+  const double beta = 0.05;
+  const double ref_dist_sq = 25.0;  // reference ||x - y||^2 for error column
+
+  const int64_t s = KaneNelsonSparsity(alpha, beta).value();
+  std::cout << "SJLT sensitivities: Delta_1 = sqrt(s) = " << Fmt(std::sqrt((double)s), 3)
+            << ", Delta_2 = 1  (s = " << s << ")\n"
+            << "Note 5 crossover: Laplace preferred when delta < e^{-s} = "
+            << FmtSci(std::exp(-static_cast<double>(s))) << "\n\n";
+
+  TablePrinter table({"eps", "delta", "auto_choice", "guarantee",
+                      "pred_stderr", "note5_says", "exact_rule_says"});
+  for (double eps : {0.5, 2.0}) {
+    for (double delta : {0.0, 1e-6, 1e-9, 1e-20, 1e-40}) {
+      SketcherConfig config;
+      config.alpha = alpha;
+      config.beta = beta;
+      config.epsilon = eps;
+      config.delta = delta;
+      config.projection_seed = 0xD0;
+      auto sketcher = PrivateSketcher::Create(d, config);
+      if (!sketcher.ok()) {
+        std::cerr << sketcher.status() << "\n";
+        return 1;
+      }
+      const auto& mech = sketcher->mechanism();
+      const double stderr_pred =
+          std::sqrt(sketcher->PredictVariance(ref_dist_sq, 1.0).total());
+      const Sensitivities sens = sketcher->transform().ExactSensitivities();
+      const std::string note5 =
+          delta == 0.0 ? "laplace (forced)"
+                       : (LaplacePreferred(sens, delta) ? "laplace" : "gaussian");
+      const std::string exact =
+          delta == 0.0
+              ? "laplace (forced)"
+              : (LaplacePreferredExact(sketcher->transform(), eps, delta,
+                                       ref_dist_sq, 1.0)
+                     ? "laplace"
+                     : "gaussian");
+      table.AddRow({Fmt(eps, 1), delta == 0.0 ? "0" : FmtSci(delta),
+                    mech.distribution().Name(), mech.params().ToString(),
+                    Fmt(stderr_pred, 1), note5, exact});
+    }
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nReading: with delta = 0 only Laplace applies (and yields pure\n"
+         "DP, the paper's headline side-effect). For moderate delta the\n"
+         "Gaussian mechanism needs less noise; once delta drops below\n"
+         "~e^{-s}, Laplace wins and is chosen automatically. The exact rule\n"
+         "differs from Note 5 only in a narrow window near the crossover\n"
+         "(see bench_e4).\n";
+  return 0;
+}

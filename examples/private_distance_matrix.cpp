@@ -1,0 +1,95 @@
+// All-pairs private distance matrix with a simultaneous guarantee — the
+// JL Flattening Lemma (the paper's introduction) under differential
+// privacy.
+//
+// n parties each publish one sketch. To make the (1 +- alpha) distortion
+// hold for ALL C(n,2) pairs simultaneously with probability 1 - beta, the
+// shared projection is calibrated at per-pair failure probability
+// beta / C(n,2), i.e. k = Theta(alpha^-2 log(n^2/beta)) — still independent
+// of the data dimension. The example builds the full matrix from released
+// sketches and reports the worst pairwise deviation against the target.
+//
+// Build & run:  ./build/examples/private_distance_matrix
+
+#include <cmath>
+#include <iostream>
+
+#include "src/common/table_printer.h"
+#include "src/core/estimators.h"
+#include "src/core/flattening.h"
+#include "src/core/sketcher.h"
+#include "src/jl/dims.h"
+#include "src/linalg/vector_ops.h"
+#include "src/workload/generators.h"
+
+int main() {
+  using namespace dpjl;
+
+  const int64_t d = 4096;
+  const int64_t n = 24;  // parties
+  const double alpha = 0.2;
+  const double beta = 0.05;
+  const double epsilon = 8.0;
+
+  const int64_t k_single = OutputDimension(alpha, beta).value();
+  const int64_t k_all_pairs = FlatteningOutputDimension(n, alpha, beta).value();
+
+  std::cout << "single-pair k = " << k_single
+            << "  ->  all-pairs (n = " << n << ") k = " << k_all_pairs
+            << "   (union bound over " << n * (n - 1) / 2 << " pairs)\n";
+
+  SketcherConfig config;
+  config.alpha = alpha;
+  config.beta = beta;
+  config.k_override = k_all_pairs;
+  config.epsilon = epsilon;
+  config.projection_seed = 0xA11;
+  auto sketcher = PrivateSketcher::Create(d, config);
+  if (!sketcher.ok()) {
+    std::cerr << sketcher.status() << "\n";
+    return 1;
+  }
+  std::cout << "construction: " << sketcher->Describe() << "\n\n";
+
+  // Parties hold points at interesting mutual distances.
+  Rng rng(31);
+  std::vector<std::vector<double>> points;
+  std::vector<PrivateSketch> sketches;
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<double> p = DenseGaussianVector(d, 1.0, &rng);
+    Scale(1.0 + 0.2 * static_cast<double>(i % 5), &p);
+    sketches.push_back(sketcher->Sketch(p, 500 + i));
+    points.push_back(std::move(p));
+  }
+
+  const DenseMatrix estimated = AllPairsSquaredDistances(sketches).value();
+
+  // Worst-case relative deviation over all pairs (noise floor removed from
+  // the denominator by using the true distance, which is large here).
+  double worst_rel = 0.0;
+  double mean_rel = 0.0;
+  int64_t pairs = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double truth = SquaredDistance(points[i], points[j]);
+      const double rel = std::fabs(estimated.At(i, j) - truth) / truth;
+      worst_rel = std::max(worst_rel, rel);
+      mean_rel += rel;
+      ++pairs;
+    }
+  }
+  mean_rel /= static_cast<double>(pairs);
+
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"pairs", Fmt(pairs)});
+  table.AddRow({"mean relative error", Fmt(mean_rel, 4)});
+  table.AddRow({"worst relative error", Fmt(worst_rel, 4)});
+  table.AddRow({"alpha target (per pair)", Fmt(alpha, 2)});
+  table.AddRow({"per-sketch privacy", "eps = " + Fmt(epsilon, 1) + " (pure)"});
+  table.Print(std::cout);
+  std::cout << "\nExpected: worst relative error around (and usually below)\n"
+               "alpha across all pairs simultaneously — the flattening\n"
+               "calibration absorbs the union bound; the DP noise adds a\n"
+               "small extra deviation on top at this budget.\n";
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Private k-means clustering on sketched data — the dimensionality-
+// reduction-for-clustering application from the paper's introduction
+// (Boutsidis et al. / Cohen et al. line of work), run under differential
+// privacy.
+//
+// Each party publishes one DP sketch of its point. An untrusted analyst
+// runs Lloyd's algorithm entirely in sketch space (distances between
+// sketches and sketch-space centroids). The example compares clustering
+// quality against non-private k-means on the raw points.
+//
+// Build & run:  ./build/examples/private_kmeans
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "src/common/table_printer.h"
+#include "src/core/sketcher.h"
+#include "src/linalg/vector_ops.h"
+#include "src/workload/generators.h"
+
+namespace {
+
+using namespace dpjl;
+
+// Within-cluster sum of squares for a labeling.
+double Wcss(const std::vector<std::vector<double>>& points,
+            const std::vector<int64_t>& labels, int64_t n_clusters) {
+  const size_t dim = points.front().size();
+  std::vector<std::vector<double>> sums(n_clusters, std::vector<double>(dim, 0.0));
+  std::vector<int64_t> counts(n_clusters, 0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    Axpy(1.0, points[i], &sums[labels[i]]);
+    counts[labels[i]]++;
+  }
+  for (int64_t c = 0; c < n_clusters; ++c) {
+    if (counts[c] > 0) Scale(1.0 / static_cast<double>(counts[c]), &sums[c]);
+  }
+  double cost = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    cost += SquaredDistance(points[i], sums[labels[i]]);
+  }
+  return cost;
+}
+
+// Plain Lloyd's algorithm; returns labels. Works in whatever space the
+// points live in (raw or sketch).
+std::vector<int64_t> Lloyd(const std::vector<std::vector<double>>& points,
+                           int64_t n_clusters, int64_t iterations, Rng* rng) {
+  const size_t dim = points.front().size();
+  // Initialize centers on random distinct points.
+  std::vector<std::vector<double>> centers;
+  for (int64_t c = 0; c < n_clusters; ++c) {
+    centers.push_back(points[rng->UniformInt(points.size())]);
+  }
+  std::vector<int64_t> labels(points.size(), 0);
+  for (int64_t iter = 0; iter < iterations; ++iter) {
+    // Assign.
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (int64_t c = 0; c < n_clusters; ++c) {
+        const double dist = SquaredDistance(points[i], centers[c]);
+        if (dist < best) {
+          best = dist;
+          labels[i] = c;
+        }
+      }
+    }
+    // Update.
+    std::vector<std::vector<double>> sums(n_clusters,
+                                          std::vector<double>(dim, 0.0));
+    std::vector<int64_t> counts(n_clusters, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      Axpy(1.0, points[i], &sums[labels[i]]);
+      counts[labels[i]]++;
+    }
+    for (int64_t c = 0; c < n_clusters; ++c) {
+      if (counts[c] > 0) {
+        Scale(1.0 / static_cast<double>(counts[c]), &sums[c]);
+        centers[c] = sums[c];
+      }
+    }
+  }
+  return labels;
+}
+
+// Best-of-n restarts by within-cluster cost (standard k-means practice;
+// a single Lloyd run is too initialization-sensitive for a comparison).
+std::vector<int64_t> LloydRestarts(const std::vector<std::vector<double>>& points,
+                                   int64_t n_clusters, int64_t iterations,
+                                   int64_t restarts, uint64_t seed) {
+  std::vector<int64_t> best_labels;
+  double best_cost = std::numeric_limits<double>::max();
+  for (int64_t r = 0; r < restarts; ++r) {
+    Rng rng(seed + static_cast<uint64_t>(r));
+    std::vector<int64_t> labels = Lloyd(points, n_clusters, iterations, &rng);
+    const double cost = Wcss(points, labels, n_clusters);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_labels = std::move(labels);
+    }
+  }
+  return best_labels;
+}
+
+// Clustering accuracy under the best greedy cluster->label matching.
+double Purity(const std::vector<int64_t>& labels,
+              const std::vector<int64_t>& truth, int64_t n_clusters) {
+  double correct = 0.0;
+  for (int64_t c = 0; c < n_clusters; ++c) {
+    std::vector<int64_t> votes(n_clusters, 0);
+    int64_t members = 0;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == c) {
+        votes[truth[i]]++;
+        ++members;
+      }
+    }
+    if (members > 0) {
+      correct += static_cast<double>(*std::max_element(votes.begin(), votes.end()));
+    }
+  }
+  return correct / static_cast<double>(labels.size());
+}
+
+}  // namespace
+
+int main() {
+  const int64_t d = 2048;
+  const int64_t n_points = 300;
+  const int64_t n_clusters = 6;
+
+  SketcherConfig config;
+  config.alpha = 0.15;
+  config.beta = 0.05;
+  config.epsilon = 3.0;
+  config.projection_seed = 0xC1A55;
+
+  auto sketcher = PrivateSketcher::Create(d, config);
+  if (!sketcher.ok()) {
+    std::cerr << sketcher.status() << "\n";
+    return 1;
+  }
+  std::cout << "construction: " << sketcher->Describe() << "\n";
+
+  Rng rng(7);
+  const ClusteredData data = MakeClusters(n_points, d, n_clusters,
+                                          /*center_scale=*/1.0,
+                                          /*spread=*/0.6, &rng);
+
+  // Each party publishes one sketch; the analyst clusters the sketches.
+  std::vector<std::vector<double>> sketch_space;
+  sketch_space.reserve(data.points.size());
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    sketch_space.push_back(
+        sketcher->Sketch(data.points[i], /*noise_seed=*/500 + i).values());
+  }
+
+  const std::vector<int64_t> private_labels = LloydRestarts(
+      sketch_space, n_clusters, /*iterations=*/10, /*restarts=*/5, 99);
+  const std::vector<int64_t> raw_labels = LloydRestarts(
+      data.points, n_clusters, /*iterations=*/10, /*restarts=*/5, 99);
+
+  TablePrinter table({"pipeline", "space_dim", "purity_vs_ground_truth"});
+  table.AddRow({"non-private k-means (raw)", Fmt(d),
+                Fmt(Purity(raw_labels, data.labels, n_clusters), 3)});
+  table.AddRow({"private k-means (DP sketches)", Fmt(sketcher->output_dim()),
+                Fmt(Purity(private_labels, data.labels, n_clusters), 3)});
+  table.Print(std::cout);
+  std::cout << "\nThe private pipeline clusters " << n_points
+            << " points it never saw in the clear: each point entered as a\n"
+            << "single eps = " << config.epsilon << " pure-DP sketch.\n";
+  return 0;
+}

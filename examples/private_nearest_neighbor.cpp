@@ -1,0 +1,116 @@
+// Private approximate nearest-neighbor search — the application class the
+// paper's introduction leads with.
+//
+// A fleet of parties each hold a private user-activity histogram. Every
+// party publishes one DP sketch to an untrusted directory (SketchIndex).
+// A querying party then finds its nearest neighbors *from sketches alone*.
+// The example measures recall against exact (non-private) search.
+//
+// Build & run:  ./build/examples/private_nearest_neighbor
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/table_printer.h"
+#include "src/core/sketch_index.h"
+#include "src/core/sketcher.h"
+#include "src/linalg/vector_ops.h"
+#include "src/workload/generators.h"
+
+namespace {
+
+using namespace dpjl;
+
+// Exact top-n ids by true squared distance.
+std::vector<std::string> ExactTopN(const std::vector<std::vector<double>>& corpus,
+                                   const std::vector<double>& query, int64_t n) {
+  std::vector<std::pair<double, std::string>> scored;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    scored.emplace_back(SquaredDistance(corpus[i], query),
+                        "user" + std::to_string(i));
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<std::string> ids;
+  for (int64_t i = 0; i < n && i < static_cast<int64_t>(scored.size()); ++i) {
+    ids.push_back(scored[i].second);
+  }
+  return ids;
+}
+
+double Recall(const std::vector<std::string>& truth,
+              const std::vector<SketchIndex::Neighbor>& found) {
+  int64_t hits = 0;
+  for (const auto& neighbor : found) {
+    hits += std::count(truth.begin(), truth.end(), neighbor.id);
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace
+
+int main() {
+  const int64_t d = 4096;     // histogram buckets
+  const int64_t n_users = 200;
+  const int64_t n_queries = 20;
+  const int64_t top_n = 5;
+
+  SketcherConfig config;
+  config.alpha = 0.1;
+  config.beta = 0.05;
+  config.epsilon = 4.0;  // per released sketch, pure DP
+  config.projection_seed = 0x5EED;
+
+  auto sketcher = PrivateSketcher::Create(d, config);
+  if (!sketcher.ok()) {
+    std::cerr << sketcher.status() << "\n";
+    return 1;
+  }
+  std::cout << "construction: " << sketcher->Describe() << "\n";
+
+  // Clustered population: users belong to behavioral groups, so nearest
+  // neighbors are meaningful. The group separation (center_scale) must
+  // clear the estimator's noise floor — distances below it are
+  // indistinguishable by design (that is the privacy working).
+  Rng rng(2026);
+  ClusteredData population = MakeClusters(n_users + n_queries, d,
+                                          /*clusters=*/40, /*center_scale=*/1.5,
+                                          /*spread=*/0.3, &rng);
+
+  // Directory of published sketches (first n_users points).
+  SketchIndex directory;
+  std::vector<std::vector<double>> corpus(population.points.begin(),
+                                          population.points.begin() + n_users);
+  for (int64_t i = 0; i < n_users; ++i) {
+    DPJL_CHECK_OK(directory.Add(
+        "user" + std::to_string(i),
+        sketcher->Sketch(corpus[i], /*noise_seed=*/1000 + i)));
+  }
+
+  // Queries: the held-out points.
+  double recall1 = 0.0;
+  double recall5 = 0.0;
+  for (int64_t q = 0; q < n_queries; ++q) {
+    const std::vector<double>& query = population.points[n_users + q];
+    const PrivateSketch query_sketch =
+        sketcher->Sketch(query, /*noise_seed=*/9000 + q);
+    const auto found = directory.NearestNeighbors(query_sketch, top_n).value();
+    const std::vector<std::string> exact = ExactTopN(corpus, query, top_n);
+    recall1 += (found[0].id == exact[0]);
+    recall5 += Recall(exact, found);
+  }
+
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"corpus size", Fmt(n_users)});
+  table.AddRow({"sketch dim k", Fmt(sketcher->output_dim())});
+  table.AddRow({"compression", FmtRatio(static_cast<double>(d) /
+                                        static_cast<double>(sketcher->output_dim()))});
+  table.AddRow({"recall@1", Fmt(recall1 / n_queries, 3)});
+  table.AddRow({"recall@5", Fmt(recall5 / n_queries, 3)});
+  table.AddRow({"per-sketch privacy", "eps = " + Fmt(config.epsilon, 1) + " (pure)"});
+  table.Print(std::cout);
+  std::cout << "\nEvery number above was computed from released DP sketches\n"
+               "only; the directory never saw a raw histogram.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: two parties privately estimate the Euclidean distance
+// between their vectors.
+//
+//   1. Both parties agree (publicly) on a projection seed and quality/
+//      privacy parameters.
+//   2. Each builds a PrivateSketcher and releases one sketch of its vector
+//      (serialized bytes — the only thing that crosses the wire).
+//   3. Anyone holding both sketches estimates ||x - y||^2, unbiasedly,
+//      with a variance the library predicts in closed form.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cmath>
+#include <iostream>
+
+#include "src/core/estimators.h"
+#include "src/core/sketcher.h"
+#include "src/linalg/vector_ops.h"
+#include "src/workload/generators.h"
+
+int main() {
+  using namespace dpjl;
+
+  // --- public agreement (out of band) ---
+  SketcherConfig config;
+  config.alpha = 0.2;               // (1 +- 0.2) distance distortion ...
+  config.beta = 0.05;               // ... with probability >= 95%
+  config.epsilon = 2.0;             // pure 2-DP per released sketch
+  config.projection_seed = 0xC0FFEE;  // public; same for all parties
+  const int64_t d = 10000;
+
+  // --- party A ---
+  auto sketcher_a = PrivateSketcher::Create(d, config);
+  if (!sketcher_a.ok()) {
+    std::cerr << sketcher_a.status() << "\n";
+    return 1;
+  }
+  Rng data_rng(42);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &data_rng);
+  const std::string wire_a =
+      sketcher_a->Sketch(x, /*noise_seed=*/0xA11CE).Serialize();
+
+  // --- party B (independent process; same public config) ---
+  auto sketcher_b = PrivateSketcher::Create(d, config);
+  const std::vector<double> y = DenseGaussianVector(d, 1.0, &data_rng);
+  const std::string wire_b =
+      sketcher_b->Sketch(y, /*noise_seed=*/0xB0B).Serialize();
+
+  // --- aggregator: estimate from released bytes only ---
+  const PrivateSketch sa = PrivateSketch::Deserialize(wire_a).value();
+  const PrivateSketch sb = PrivateSketch::Deserialize(wire_b).value();
+  const double est = EstimateSquaredDistance(sa, sb).value();
+
+  const double truth = SquaredDistance(x, y);
+  const double variance =
+      sketcher_a->PredictVariance(truth, NormL4Pow4(Sub(x, y))).total();
+  const double halfwidth = ChebyshevHalfWidth(variance, /*failure_prob=*/0.05);
+
+  // The DP noise imposes an additive floor on resolvable distances
+  // (cf. the Omega(1/eps) lower bound the paper cites): distances far
+  // below it drown in noise regardless of k.
+  const double noise_floor =
+      std::sqrt(sketcher_a->PredictVariance(0.0, 0.0).total());
+
+  std::cout << "construction     : " << sketcher_a->Describe() << "\n"
+            << "sketch size      : " << sa.values().size() << " doubles ("
+            << wire_a.size() << " bytes on the wire) vs input d = " << d << "\n"
+            << "true ||x-y||^2   : " << truth << "\n"
+            << "estimate         : " << est << "\n"
+            << "95% Chebyshev CI : +- " << halfwidth << "\n"
+            << "DP noise floor   : ~" << noise_floor
+            << " (distances below this are indistinguishable)\n"
+            << "privacy          : each release is "
+            << sa.metadata().epsilon << "-DP (pure)\n";
+  return 0;
+}

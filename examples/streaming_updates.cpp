@@ -1,0 +1,105 @@
+// Streaming sketch maintenance — Theorem 3(4)'s O(s) per-update cost in a
+// telemetry-style deployment.
+//
+// Several edge devices observe event streams over a huge key space. Each
+// maintains a running SJLT sketch (updating s = O(alpha^-1 log 1/beta)
+// counters per event, never materializing the d-dimensional histogram) and
+// periodically releases a private snapshot. The collector estimates
+// pairwise divergence between devices and tracks the cumulative privacy
+// spend of repeated releases.
+//
+// Build & run:  ./build/examples/streaming_updates
+
+#include <iostream>
+#include <vector>
+
+#include "src/common/table_printer.h"
+#include "src/common/timer.h"
+#include "src/core/estimators.h"
+#include "src/core/sketcher.h"
+#include "src/core/streaming.h"
+#include "src/dp/accountant.h"
+#include "src/linalg/vector_ops.h"
+#include "src/workload/generators.h"
+
+int main() {
+  using namespace dpjl;
+
+  const int64_t d = 1 << 20;  // 1M event keys; never materialized densely
+  const int64_t n_devices = 3;
+  const int64_t events_per_epoch = 50000;
+  const int64_t n_epochs = 2;
+
+  SketcherConfig config;
+  config.k_override = 512;
+  config.s_override = 16;
+  config.epsilon = 0.5;  // per release
+  config.projection_seed = 0xFEED;
+
+  auto sketcher = PrivateSketcher::Create(d, config);
+  if (!sketcher.ok()) {
+    std::cerr << sketcher.status() << "\n";
+    return 1;
+  }
+  std::cout << "construction: " << sketcher->Describe() << "\n"
+            << "key space d = " << d << ", sketch k = "
+            << sketcher->output_dim() << ", update touches s = 16 counters\n\n";
+
+  // Devices 0 and 1 sample similar traffic; device 2 diverges.
+  std::vector<StreamingSketcher> devices;
+  std::vector<PrivacyAccountant> accountants(n_devices);
+  for (int64_t dev = 0; dev < n_devices; ++dev) {
+    devices.push_back(
+        StreamingSketcher::Create(&*sketcher, /*noise_seed=*/7000 + dev).value());
+  }
+
+  Rng shared(11);
+  Rng divergent(222);
+  Timer update_timer;
+  int64_t total_updates = 0;
+  for (int64_t epoch = 0; epoch < n_epochs; ++epoch) {
+    for (int64_t e = 0; e < events_per_epoch; ++e) {
+      // Devices 0/1: same hot-key distribution (Zipf over a window).
+      for (int64_t dev = 0; dev < 2; ++dev) {
+        const int64_t key =
+            static_cast<int64_t>(shared.UniformInt(1 << 16)) * (dev == 0 ? 1 : 1);
+        devices[dev].Update(key, 1.0);
+      }
+      // Device 2: different region of the key space.
+      devices[2].Update((1 << 19) + static_cast<int64_t>(
+                                        divergent.UniformInt(1 << 16)),
+                        1.0);
+      total_updates += 3;
+    }
+
+    // Epoch release: each device publishes a snapshot and accounts for it.
+    std::vector<PrivateSketch> snapshots;
+    for (int64_t dev = 0; dev < n_devices; ++dev) {
+      snapshots.push_back(devices[dev].Finalize());
+      accountants[dev].Record(PrivacyParams{snapshots.back().metadata().epsilon,
+                                            snapshots.back().metadata().delta});
+    }
+    std::cout << "epoch " << epoch << " pairwise estimated ||hist_i - hist_j||^2:\n";
+    TablePrinter table({"pair", "estimate"});
+    for (int64_t i = 0; i < n_devices; ++i) {
+      for (int64_t j = i + 1; j < n_devices; ++j) {
+        table.AddRow({"dev" + std::to_string(i) + " vs dev" + std::to_string(j),
+                      Fmt(EstimateSquaredDistance(snapshots[i], snapshots[j]).value(), 0)});
+      }
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  const double us_per_update =
+      update_timer.ElapsedSeconds() * 1e6 / static_cast<double>(total_updates);
+  std::cout << "update cost: " << Fmt(us_per_update, 3)
+            << " us/event (includes stream generation)\n";
+  std::cout << "cumulative privacy per device after " << n_epochs
+            << " releases (basic composition): eps = "
+            << accountants[0].BasicComposition().epsilon << "\n";
+  std::cout << "\nExpected: dev0-dev1 divergence is far below dev*-dev2 "
+               "(disjoint key regions);\nupdates cost microseconds despite "
+               "d = 1M; repeated releases compose linearly.\n";
+  return 0;
+}

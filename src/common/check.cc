@@ -1,0 +1,18 @@
+#include "src/common/check.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace dpjl::internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::cerr << "[dpjl fatal] " << file << ":" << line << " check failed: " << expr;
+  if (!message.empty()) {
+    std::cerr << " — " << message;
+  }
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace dpjl::internal

@@ -1,0 +1,45 @@
+#ifndef DPJL_COMMON_CHECK_H_
+#define DPJL_COMMON_CHECK_H_
+
+#include <string>
+
+#include "src/common/status.h"
+
+namespace dpjl::internal {
+
+/// Prints a fatal-check failure to stderr and aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+}  // namespace dpjl::internal
+
+/// Aborts with a diagnostic if `cond` is false. Active in all build modes:
+/// these guard invariants whose violation would silently corrupt privacy or
+/// utility guarantees, which is never acceptable to ignore.
+#define DPJL_CHECK(cond, msg)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::dpjl::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                  \
+  } while (false)
+
+/// Aborts if a Status expression is not OK.
+#define DPJL_CHECK_OK(expr)                                              \
+  do {                                                                   \
+    ::dpjl::Status _dpjl_check_status = (expr);                          \
+    if (!_dpjl_check_status.ok()) {                                      \
+      ::dpjl::internal::CheckFailed(__FILE__, __LINE__, #expr,           \
+                                    _dpjl_check_status.ToString());      \
+    }                                                                    \
+  } while (false)
+
+/// Debug-only check for hot paths (index bounds in inner loops).
+#ifdef NDEBUG
+#define DPJL_DCHECK(cond, msg) \
+  do {                         \
+  } while (false)
+#else
+#define DPJL_DCHECK(cond, msg) DPJL_CHECK(cond, msg)
+#endif
+
+#endif  // DPJL_COMMON_CHECK_H_

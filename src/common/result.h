@@ -1,0 +1,83 @@
+#ifndef DPJL_COMMON_RESULT_H_
+#define DPJL_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/status.h"
+
+namespace dpjl {
+
+/// `Result<T>` holds either a value of type `T` or a non-OK `Status`
+/// explaining why the value could not be produced. It is the return type of
+/// fallible factory functions throughout the library (the Arrow/RocksDB
+/// idiom; no exceptions cross the public API).
+///
+/// Accessing the value of an errored Result aborts via DPJL_CHECK, so call
+/// sites either test `ok()` first or deliberately accept a crash on bug.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result. Intentionally implicit so functions can
+  /// `return value;`.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs an errored result. Intentionally implicit so functions can
+  /// `return Status::InvalidArgument(...);`. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    DPJL_CHECK(!status_.ok(), "Result constructed from OK status without a value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if `!ok()`.
+  const T& value() const& {
+    DPJL_CHECK(ok(), "Result::value() called on error: " + status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    DPJL_CHECK(ok(), "Result::value() called on error: " + status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    DPJL_CHECK(ok(), "Result::value() called on error: " + status_.ToString());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dpjl
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or returns its
+/// status from the enclosing function. For use in functions returning Status
+/// or Result.
+#define DPJL_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  auto DPJL_CONCAT_(_dpjl_result_, __LINE__) = (rexpr);   \
+  if (!DPJL_CONCAT_(_dpjl_result_, __LINE__).ok())        \
+    return DPJL_CONCAT_(_dpjl_result_, __LINE__).status(); \
+  lhs = std::move(DPJL_CONCAT_(_dpjl_result_, __LINE__)).value()
+
+#define DPJL_CONCAT_INNER_(a, b) a##b
+#define DPJL_CONCAT_(a, b) DPJL_CONCAT_INNER_(a, b)
+
+#endif  // DPJL_COMMON_RESULT_H_

@@ -1,0 +1,39 @@
+#include "src/common/status.h"
+
+namespace dpjl {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace dpjl

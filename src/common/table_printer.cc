@@ -1,0 +1,72 @@
+#include "src/common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace dpjl {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DPJL_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  DPJL_CHECK(cells.size() == header_.size(),
+             "row arity does not match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string FmtSci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3e", v);
+  return buf;
+}
+
+std::string Fmt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string Fmt(int v) { return Fmt(static_cast<int64_t>(v)); }
+
+std::string FmtRatio(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "x%.3f", v);
+  return buf;
+}
+
+std::string FmtBool(bool v) { return v ? "yes" : "no"; }
+
+}  // namespace dpjl

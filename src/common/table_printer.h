@@ -1,0 +1,52 @@
+#ifndef DPJL_COMMON_TABLE_PRINTER_H_
+#define DPJL_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dpjl {
+
+/// Renders aligned plain-text tables for the experiment harnesses.
+///
+/// Usage:
+///   TablePrinter t({"d", "estimator", "variance"});
+///   t.AddRow({Fmt(d), "sjlt", FmtSci(var)});
+///   t.Print(std::cout);
+///
+/// Columns are padded to the widest cell; numeric formatting is the caller's
+/// responsibility via the Fmt* helpers below so that every bench prints
+/// rows the same way.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the header, a rule, and all rows to `os`.
+  void Print(std::ostream& os) const;
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-point decimal with `digits` fractional digits (default 4).
+std::string Fmt(double v, int digits = 4);
+/// Scientific notation with 3 significant decimals, e.g. "1.234e-05".
+std::string FmtSci(double v);
+/// Integer.
+std::string Fmt(int64_t v);
+std::string Fmt(int v);
+/// Ratio rendered as "x1.23" (or "x0.45").
+std::string FmtRatio(double v);
+/// Boolean rendered as "yes"/"no".
+std::string FmtBool(bool v);
+
+}  // namespace dpjl
+
+#endif  // DPJL_COMMON_TABLE_PRINTER_H_

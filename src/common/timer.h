@@ -1,0 +1,38 @@
+#ifndef DPJL_COMMON_TIMER_H_
+#define DPJL_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dpjl {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+///
+/// Starts running on construction. `ElapsedSeconds()` may be called any
+/// number of times; `Restart()` resets the origin.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_COMMON_TIMER_H_

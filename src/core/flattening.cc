@@ -1,0 +1,43 @@
+#include "src/core/flattening.h"
+
+#include "src/core/estimators.h"
+#include "src/jl/dims.h"
+
+namespace dpjl {
+
+Result<double> FlatteningPerPairBeta(int64_t n, double beta) {
+  if (n < 2) {
+    return Status::InvalidArgument("flattening needs n >= 2 vectors");
+  }
+  if (!(beta > 0.0 && beta < 0.5)) {
+    return Status::InvalidArgument("beta must lie in (0, 1/2)");
+  }
+  const double pairs = 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  return beta / pairs;
+}
+
+Result<int64_t> FlatteningOutputDimension(int64_t n, double alpha, double beta) {
+  DPJL_ASSIGN_OR_RETURN(double per_pair, FlatteningPerPairBeta(n, beta));
+  return OutputDimension(alpha, per_pair);
+}
+
+Result<DenseMatrix> AllPairsSquaredDistances(
+    const std::vector<PrivateSketch>& sketches) {
+  const int64_t n = static_cast<int64_t>(sketches.size());
+  if (n < 2) {
+    return Status::InvalidArgument("need at least two sketches");
+  }
+  DenseMatrix out(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      DPJL_ASSIGN_OR_RETURN(double dist,
+                            EstimateSquaredDistance(sketches[static_cast<size_t>(i)],
+                                                    sketches[static_cast<size_t>(j)]));
+      out.At(i, j) = dist;
+      out.At(j, i) = dist;
+    }
+  }
+  return out;
+}
+
+}  // namespace dpjl

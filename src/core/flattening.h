@@ -1,0 +1,35 @@
+#ifndef DPJL_CORE_FLATTENING_H_
+#define DPJL_CORE_FLATTENING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/sketch.h"
+#include "src/linalg/dense_matrix.h"
+
+namespace dpjl {
+
+/// Johnson–Lindenstrauss Flattening Lemma utilities (the all-pairs form
+/// the paper's introduction cites): to preserve all C(n,2) pairwise
+/// distances of n vectors simultaneously within (1 +- alpha) w.p. >= 1-beta,
+/// it suffices to run a single projection at per-pair failure probability
+/// beta / C(n,2), i.e. k = Theta(alpha^-2 log(n^2/beta)) — still
+/// independent of d.
+
+/// Output dimension for the simultaneous all-pairs guarantee over `n`
+/// vectors (union bound over C(n,2) pairs, explicit constant as in
+/// src/jl/dims.h). n >= 2.
+Result<int64_t> FlatteningOutputDimension(int64_t n, double alpha, double beta);
+
+/// The effective per-pair failure probability used: beta / C(n,2).
+Result<double> FlatteningPerPairBeta(int64_t n, double beta);
+
+/// Estimated all-pairs squared-distance matrix from released sketches
+/// (symmetric, zero diagonal). All sketches must be mutually compatible.
+Result<DenseMatrix> AllPairsSquaredDistances(
+    const std::vector<PrivateSketch>& sketches);
+
+}  // namespace dpjl
+
+#endif  // DPJL_CORE_FLATTENING_H_

@@ -1,0 +1,150 @@
+#include "src/core/sketch_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/core/estimators.h"
+
+namespace dpjl {
+
+namespace {
+
+constexpr char kIndexMagic[8] = {'D', 'P', 'J', 'L', 'I', 'X', '0', '1'};
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(const std::string& in, size_t* offset, uint64_t* v) {
+  if (*offset + sizeof(*v) > in.size()) return false;
+  std::memcpy(v, in.data() + *offset, sizeof(*v));
+  *offset += sizeof(*v);
+  return true;
+}
+
+}  // namespace
+
+Status SketchIndex::Add(std::string id, PrivateSketch sketch) {
+  if (sketches_.count(id) > 0) {
+    return Status::InvalidArgument("duplicate sketch id: " + id);
+  }
+  if (!order_.empty()) {
+    const PrivateSketch& first = sketches_.at(order_.front());
+    if (!first.metadata().CompatibleWith(sketch.metadata())) {
+      return Status::FailedPrecondition(
+          "sketch is incompatible with the index's projection");
+    }
+  }
+  order_.push_back(id);
+  sketches_.emplace(std::move(id), std::move(sketch));
+  return Status::OK();
+}
+
+const PrivateSketch* SketchIndex::Find(const std::string& id) const {
+  auto it = sketches_.find(id);
+  return it == sketches_.end() ? nullptr : &it->second;
+}
+
+Result<double> SketchIndex::SquaredDistance(const std::string& id_a,
+                                            const std::string& id_b) const {
+  const PrivateSketch* a = Find(id_a);
+  const PrivateSketch* b = Find(id_b);
+  if (a == nullptr || b == nullptr) {
+    return Status::NotFound("unknown sketch id");
+  }
+  return EstimateSquaredDistance(*a, *b);
+}
+
+Result<std::vector<SketchIndex::Neighbor>> SketchIndex::NearestNeighbors(
+    const PrivateSketch& query, int64_t top_n) const {
+  if (top_n < 1) {
+    return Status::InvalidArgument("top_n must be >= 1");
+  }
+  std::vector<Neighbor> all;
+  all.reserve(order_.size());
+  for (const std::string& id : order_) {
+    DPJL_ASSIGN_OR_RETURN(double dist,
+                          EstimateSquaredDistance(query, sketches_.at(id)));
+    all.push_back(Neighbor{id, dist});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.squared_distance != b.squared_distance) {
+      return a.squared_distance < b.squared_distance;
+    }
+    return a.id < b.id;
+  });
+  if (static_cast<int64_t>(all.size()) > top_n) {
+    all.resize(static_cast<size_t>(top_n));
+  }
+  return all;
+}
+
+Result<std::vector<SketchIndex::Neighbor>> SketchIndex::RangeQuery(
+    const PrivateSketch& query, double radius_sq) const {
+  if (!(radius_sq >= 0)) {
+    return Status::InvalidArgument("radius must be non-negative");
+  }
+  std::vector<Neighbor> hits;
+  for (const std::string& id : order_) {
+    DPJL_ASSIGN_OR_RETURN(double dist,
+                          EstimateSquaredDistance(query, sketches_.at(id)));
+    if (dist <= radius_sq) hits.push_back(Neighbor{id, dist});
+  }
+  std::sort(hits.begin(), hits.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.squared_distance != b.squared_distance) {
+      return a.squared_distance < b.squared_distance;
+    }
+    return a.id < b.id;
+  });
+  return hits;
+}
+
+std::string SketchIndex::Serialize() const {
+  std::string out;
+  out.append(kIndexMagic, sizeof(kIndexMagic));
+  AppendU64(&out, static_cast<uint64_t>(order_.size()));
+  for (const std::string& id : order_) {
+    const std::string blob = sketches_.at(id).Serialize();
+    AppendU64(&out, id.size());
+    out.append(id);
+    AppendU64(&out, blob.size());
+    out.append(blob);
+  }
+  return out;
+}
+
+Result<SketchIndex> SketchIndex::Deserialize(const std::string& bytes) {
+  if (bytes.size() < sizeof(kIndexMagic) ||
+      std::memcmp(bytes.data(), kIndexMagic, sizeof(kIndexMagic)) != 0) {
+    return Status::DataLoss("bad index magic/version");
+  }
+  size_t offset = sizeof(kIndexMagic);
+  uint64_t count = 0;
+  if (!ReadU64(bytes, &offset, &count)) {
+    return Status::DataLoss("truncated index header");
+  }
+  SketchIndex index;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id_len = 0;
+    if (!ReadU64(bytes, &offset, &id_len) || offset + id_len > bytes.size()) {
+      return Status::DataLoss("truncated index id");
+    }
+    std::string id = bytes.substr(offset, id_len);
+    offset += id_len;
+    uint64_t blob_len = 0;
+    if (!ReadU64(bytes, &offset, &blob_len) ||
+        offset + blob_len > bytes.size()) {
+      return Status::DataLoss("truncated index sketch blob");
+    }
+    DPJL_ASSIGN_OR_RETURN(PrivateSketch sketch, PrivateSketch::Deserialize(
+                                                    bytes.substr(offset, blob_len)));
+    offset += blob_len;
+    DPJL_RETURN_IF_ERROR(index.Add(std::move(id), std::move(sketch)));
+  }
+  if (offset != bytes.size()) {
+    return Status::DataLoss("trailing bytes after index payload");
+  }
+  return index;
+}
+
+}  // namespace dpjl

@@ -1,0 +1,74 @@
+#ifndef DPJL_CORE_SKETCH_INDEX_H_
+#define DPJL_CORE_SKETCH_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/sketch.h"
+
+namespace dpjl {
+
+/// A small in-memory collection of released sketches supporting distance
+/// queries and nearest-neighbor search — the application layer the paper's
+/// introduction motivates (approximate NN search, document comparison) in
+/// one reusable component.
+///
+/// All stored sketches must be mutually compatible (same public projection);
+/// Add() enforces this. The index stores released artifacts only, so it can
+/// be operated by an untrusted aggregator without privacy implications —
+/// everything inside is already differentially private.
+class SketchIndex {
+ public:
+  SketchIndex() = default;
+
+  /// Inserts `sketch` under `id`. Fails if the id exists or the sketch is
+  /// incompatible with those already stored.
+  Status Add(std::string id, PrivateSketch sketch);
+
+  int64_t size() const { return static_cast<int64_t>(order_.size()); }
+
+  /// Pointer to a stored sketch, or nullptr.
+  const PrivateSketch* Find(const std::string& id) const;
+
+  /// Unbiased estimate of ||x_a - x_b||_2^2 between two stored sketches.
+  Result<double> SquaredDistance(const std::string& id_a,
+                                 const std::string& id_b) const;
+
+  struct Neighbor {
+    std::string id;
+    double squared_distance;
+  };
+
+  /// The `top_n` stored sketches closest to `query` by estimated squared
+  /// distance, ascending (ties broken by id for determinism). `query` may
+  /// be a stored sketch or an external compatible one; if it is stored, it
+  /// will match itself at (noisy) distance ~0 — callers filter if needed.
+  Result<std::vector<Neighbor>> NearestNeighbors(const PrivateSketch& query,
+                                                 int64_t top_n) const;
+
+  /// All stored sketches within estimated squared distance `radius_sq` of
+  /// `query`, ascending. The noise floor applies: radii below
+  /// sqrt(Var[E_hat]) admit false positives/negatives at the boundary.
+  Result<std::vector<Neighbor>> RangeQuery(const PrivateSketch& query,
+                                           double radius_sq) const;
+
+  /// Serializes the whole index (ids + sketches) to a binary string, and
+  /// back. The index persists released artifacts only, so the file is as
+  /// public as the sketches themselves.
+  std::string Serialize() const;
+  static Result<SketchIndex> Deserialize(const std::string& bytes);
+
+  /// Ids in insertion order.
+  const std::vector<std::string>& ids() const { return order_; }
+
+ private:
+  std::unordered_map<std::string, PrivateSketch> sketches_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_CORE_SKETCH_INDEX_H_

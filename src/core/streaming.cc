@@ -1,0 +1,47 @@
+#include "src/core/streaming.h"
+
+#include "src/common/check.h"
+#include "src/random/rng.h"
+
+namespace dpjl {
+
+Result<StreamingSketcher> StreamingSketcher::Create(
+    const PrivateSketcher* sketcher, uint64_t noise_seed) {
+  if (sketcher == nullptr) {
+    return Status::InvalidArgument("sketcher must not be null");
+  }
+  if (sketcher->placement() != NoisePlacement::kOutput) {
+    return Status::InvalidArgument(
+        "streaming requires output-noise placement");
+  }
+  return StreamingSketcher(sketcher, noise_seed);
+}
+
+StreamingSketcher::StreamingSketcher(const PrivateSketcher* sketcher,
+                                     uint64_t noise_seed)
+    : sketcher_(sketcher),
+      noise_seed_(noise_seed),
+      accumulator_(static_cast<size_t>(sketcher->output_dim()), 0.0) {}
+
+void StreamingSketcher::Update(int64_t index, double weight) {
+  DPJL_CHECK(index >= 0 && index < sketcher_->input_dim(),
+             "update index out of range");
+  sketcher_->transform().AccumulateColumn(index, weight, &accumulator_);
+  ++num_updates_;
+}
+
+void StreamingSketcher::UpdateSparse(const SparseVector& delta) {
+  DPJL_CHECK(delta.dim() == sketcher_->input_dim(), "update dimension mismatch");
+  for (const SparseVector::Entry& e : delta.entries()) {
+    Update(e.index, e.value);
+  }
+}
+
+PrivateSketch StreamingSketcher::Finalize() const {
+  std::vector<double> values = accumulator_;
+  Rng rng(noise_seed_);
+  sketcher_->mechanism().AddNoise(&values, &rng);
+  return PrivateSketch(std::move(values), sketcher_->MetadataTemplate());
+}
+
+}  // namespace dpjl

@@ -1,0 +1,59 @@
+#ifndef DPJL_CORE_STREAMING_H_
+#define DPJL_CORE_STREAMING_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/core/sketch.h"
+#include "src/core/sketcher.h"
+
+namespace dpjl {
+
+/// Incremental sketch maintenance over a stream of coordinate updates
+/// (Theorem 3(4): the SJLT sketch updates in O(s) per item).
+///
+/// Maintains y = S x for the evolving vector x defined by the accumulated
+/// updates x[index] += weight. Finalize() adds the calibrated noise and
+/// releases the private sketch; the noise is a deterministic function of
+/// the seed fixed at construction, so repeated Finalize() calls return the
+/// *same* release and consume no additional privacy budget. Releasing
+/// sketches of materially different stream prefixes, by contrast, composes
+/// (see PrivacyAccountant).
+///
+/// The privacy guarantee covers l1-neighboring *final* vectors; this is the
+/// paper's model (a changed stream item shifts ||x||_1 by the weight delta).
+/// Pan-privacy against state inspection (Mir et al.) is out of scope: the
+/// in-memory accumulator is exact.
+class StreamingSketcher {
+ public:
+  /// `sketcher` must outlive this object and use output-noise placement
+  /// (input placement cannot be maintained incrementally).
+  static Result<StreamingSketcher> Create(const PrivateSketcher* sketcher,
+                                          uint64_t noise_seed);
+
+  /// x[index] += weight. O(column_cost) = O(s) for the SJLT.
+  void Update(int64_t index, double weight);
+
+  /// Applies all entries of `delta` as updates.
+  void UpdateSparse(const SparseVector& delta);
+
+  int64_t num_updates() const { return num_updates_; }
+
+  /// The exact (pre-noise) accumulator S x; not private — do not release.
+  const std::vector<double>& accumulator() const { return accumulator_; }
+
+  /// Releases the private sketch of the current vector.
+  PrivateSketch Finalize() const;
+
+ private:
+  StreamingSketcher(const PrivateSketcher* sketcher, uint64_t noise_seed);
+
+  const PrivateSketcher* sketcher_;
+  uint64_t noise_seed_;
+  std::vector<double> accumulator_;
+  int64_t num_updates_ = 0;
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_CORE_STREAMING_H_

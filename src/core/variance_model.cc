@@ -1,0 +1,138 @@
+#include "src/core/variance_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dpjl {
+
+VarianceBreakdown PredictVarianceOutput(const LinearTransform& transform,
+                                        const NoiseDistribution& noise,
+                                        double z2sq, double z4p4) {
+  const double k = static_cast<double>(transform.output_dim());
+  const double m2 = noise.SecondMoment();
+  const double m4 = noise.FourthMoment();
+  VarianceBreakdown out;
+  out.transform_term = transform.SquaredNormVariance(z2sq, z4p4);
+  out.noise_distance_term = 8.0 * m2 * z2sq;
+  out.noise_constant_term = 2.0 * k * m4 + 2.0 * k * m2 * m2;
+  out.is_exact = true;
+  return out;
+}
+
+VarianceBreakdown PredictVarianceInputFjlt(const Fjlt& transform,
+                                           const NoiseDistribution& noise,
+                                           double z2sq, double z4p4) {
+  // nu = eta - mu per input coordinate, with eta, mu ~ noise i.i.d.:
+  //   E[nu^2] = 2 m2;  E[nu^4] = 2 m4 + 6 m2^2.
+  const double k = static_cast<double>(transform.output_dim());
+  const double d = static_cast<double>(transform.padded_dim());
+  const double excess = 1.0 / transform.q() - 1.0;  // (1/q - 1)
+  const double m2 = noise.SecondMoment();
+  const double m4 = noise.FourthMoment();
+  const double nu2 = 2.0 * m2;
+  const double nu4 = 2.0 * m4 + 6.0 * m2 * m2;
+
+  VarianceBreakdown out;
+  out.is_exact = false;
+
+  // Exact transform contribution at z (Lemma 11).
+  out.transform_term = transform.SquaredNormVariance(z2sq, z4p4);
+
+  // Var[(1/k)||Phi nu||^2]: condition on nu, apply the exact formula, then
+  // add Var(||nu||^2) for the outer randomness.
+  //   E||nu||_2^4 = d nu4 + d(d-1) nu2^2;  E||nu||_4^4 = d nu4;
+  //   Var(||nu||_2^2) = d (nu4 - nu2^2).
+  const double e_nu_l2_4 = d * nu4 + d * (d - 1.0) * nu2 * nu2;
+  const double e_nu_l4_4 = d * nu4;
+  const double var_nu_sq = d * (nu4 - nu2 * nu2);
+  const double noise_only =
+      (3.0 / k) * (2.0 / 3.0 + (3.0 / d) * excess) * e_nu_l2_4 -
+      (6.0 / (d * k)) * excess * e_nu_l4_4 + var_nu_sq;
+
+  // Cross term, bounded as in Appendix C.1 by
+  //   (6/k^2) E[||Phi z||^2 ||Phi nu||^2] - (2/k^2) E||Phi z||^2 E||Phi nu||^2
+  // using the primitive E[||Phi x||^2 ||Phi y||^2] from Appendix B.1:
+  //   k [ (3/d)(d/3 + excess)(||x||^2 E||y||^2 + 2 E<x,y>^2)
+  //       - (6/d) excess * sum_j x_j^2 E[y_j^2] ] + (k^2 - k) ||x||^2 E||y||^2.
+  const double e_nu_norm = d * nu2;                    // E||nu||^2
+  const double e_dot_sq = nu2 * z2sq;                  // E<z, nu>^2
+  const double e_weighted = nu2 * z2sq;                // sum_j z_j^2 E[nu_j^2]
+  const double cross_mean =
+      k * ((3.0 / d) * (d / 3.0 + excess) * (z2sq * e_nu_norm + 2.0 * e_dot_sq) -
+           (6.0 / d) * excess * e_weighted) +
+      (k * k - k) * z2sq * e_nu_norm;
+  const double cross =
+      (6.0 / (k * k)) * cross_mean - (2.0 / (k * k)) * (k * z2sq) * (k * e_nu_norm);
+
+  out.noise_distance_term = cross;
+  out.noise_constant_term = noise_only;
+  return out;
+}
+
+double PredictNormVariance(const LinearTransform& transform,
+                           const NoiseDistribution& noise, double x2sq,
+                           double x4p4) {
+  const double k = static_cast<double>(transform.output_dim());
+  const double m2 = noise.SecondMoment();
+  const double m4 = noise.FourthMoment();
+  return transform.SquaredNormVariance(x2sq, x4p4) + 4.0 * m2 * x2sq +
+         k * (m4 - m2 * m2);
+}
+
+double KenthapadiVariance(int64_t k, double sigma, double z2sq) {
+  const double kd = static_cast<double>(k);
+  const double s2 = sigma * sigma;
+  return 2.0 / kd * z2sq * z2sq + 8.0 * s2 * z2sq + 8.0 * s2 * s2 * kd;
+}
+
+double Theorem3SjltLaplaceVariance(int64_t k, int64_t s, double epsilon,
+                                   double z2sq, double z4p4) {
+  // Lap(b) with b = sqrt(s)/eps: m2 = 2 s/eps^2, m4 = 24 s^2/eps^4.
+  const double kd = static_cast<double>(k);
+  const double sd = static_cast<double>(s);
+  const double e2 = epsilon * epsilon;
+  const double m2 = 2.0 * sd / e2;
+  const double m4 = 24.0 * sd * sd / (e2 * e2);
+  return 2.0 / kd * (z2sq * z2sq - z4p4) + 8.0 * m2 * z2sq +
+         2.0 * kd * (m4 + m2 * m2);
+}
+
+int64_t OptimalSketchDimension(const NoiseDistribution& noise, double z2sq) {
+  const double m2 = noise.SecondMoment();
+  const double m4 = noise.FourthMoment();
+  const double denom = std::sqrt(m4 + m2 * m2);
+  if (!(denom > 0.0)) {
+    // No noise: the variance is monotone decreasing in k; no finite
+    // optimum. Callers should use the alpha/beta-driven k.
+    return std::numeric_limits<int64_t>::max();
+  }
+  return std::max<int64_t>(1, static_cast<int64_t>(std::llround(z2sq / denom)));
+}
+
+double Note5DeltaCrossover(const Sensitivities& sens) {
+  const double ratio = sens.l1 / sens.l2;
+  return std::exp(-ratio * ratio);
+}
+
+bool LaplacePreferredExact(const LinearTransform& transform, double epsilon,
+                           double delta, double z2sq, double z4p4) {
+  const Sensitivities sens = transform.ExactSensitivities();
+  const double b = sens.l1 / epsilon;
+  const double sigma =
+      sens.l2 / epsilon * std::sqrt(2.0 * std::log(1.25 / delta));
+  const double laplace = PredictVarianceOutput(
+                             transform, NoiseDistribution::Laplace(b), z2sq, z4p4)
+                             .total();
+  const double gaussian =
+      PredictVarianceOutput(transform, NoiseDistribution::Gaussian(sigma), z2sq,
+                            z4p4)
+          .total();
+  return laplace < gaussian;
+}
+
+double Section7DeltaCrossover(int64_t s) {
+  return std::exp(-static_cast<double>(s));
+}
+
+}  // namespace dpjl

@@ -1,0 +1,95 @@
+#ifndef DPJL_CORE_VARIANCE_MODEL_H_
+#define DPJL_CORE_VARIANCE_MODEL_H_
+
+#include <cstdint>
+
+#include "src/dp/noise_distribution.h"
+#include "src/dp/sensitivity.h"
+#include "src/jl/fjlt.h"
+#include "src/jl/transform.h"
+
+namespace dpjl {
+
+/// Analytic prediction of Var[E_hat] for a squared-distance estimate, split
+/// into the paper's three contributions (Lemma 3):
+///   Var = Var[||S z||^2]                 (transform_term)
+///       + 8 E[eta^2] ||z||^2             (noise_distance_term)
+///       + 2k E[eta^4] + 2k E[eta^2]^2    (noise_constant_term).
+struct VarianceBreakdown {
+  double transform_term = 0.0;
+  double noise_distance_term = 0.0;
+  double noise_constant_term = 0.0;
+  /// True when every term is an exact identity (output placement); false
+  /// when a term is a proven upper bound (input placement's cross term).
+  bool is_exact = true;
+
+  double total() const {
+    return transform_term + noise_distance_term + noise_constant_term;
+  }
+};
+
+/// Output placement (release S x + eta): exact variance via Lemma 3 and the
+/// transform's exact Var[||S z||^2]. Both parties are assumed to use
+/// `noise`; z2sq = ||x - y||_2^2, z4p4 = ||x - y||_4^4.
+VarianceBreakdown PredictVarianceOutput(const LinearTransform& transform,
+                                        const NoiseDistribution& noise,
+                                        double z2sq, double z4p4);
+
+/// Input placement on the FJLT (release S(x + eta), Lemma 8): a proven
+/// upper bound following Appendix C.1, generalized to any zero-mean input
+/// noise with moments (m2, m4) per coordinate. The d- and d^2-dependent
+/// terms the paper highlights appear in noise_distance_term and
+/// noise_constant_term respectively.
+VarianceBreakdown PredictVarianceInputFjlt(const Fjlt& transform,
+                                           const NoiseDistribution& noise,
+                                           double z2sq, double z4p4);
+
+/// Variance of the single-sketch squared-norm estimator
+/// ||S x + eta||^2 - k E[eta^2] (output placement):
+///   Var[||S x||^2] + 4 E[eta^2] ||x||^2 + k (E[eta^4] - E[eta^2]^2).
+/// Exact for symmetric zero-mean noise.
+double PredictNormVariance(const LinearTransform& transform,
+                           const NoiseDistribution& noise, double x2sq,
+                           double x4p4);
+
+/// Kenthapadi et al.'s Theorem 2 closed form (for comparison tables):
+///   2/k ||z||^4 + 8 sigma^2 ||z||^2 + 8 sigma^4 k.
+double KenthapadiVariance(int64_t k, double sigma, double z2sq);
+
+/// Theorem 3's bound with its implied constants made explicit, i.e. the
+/// exact Lemma 3 value for the SJLT with Lap(sqrt(s)/eps) noise:
+///   2/k (||z||^4 - ||z||_4^4) + 16 (s/eps^2) ||z||^2 + 56 k s^2/eps^4.
+double Theorem3SjltLaplaceVariance(int64_t k, int64_t s, double epsilon,
+                                   double z2sq, double z4p4);
+
+/// Section 6.2.1's variance-minimizing sketch dimension for output-noise
+/// sketches at a known (or assumed maximal) squared distance:
+///   k* = ||z||^2 / sqrt(E[eta^4] + E[eta^2]^2),
+/// from d/dk [ 2/k ||z||^4 + 2k(m4 + m2^2) ] = 0. As the paper notes, no
+/// fixed k is optimal for the whole input domain; calibrate to
+/// nu = max ||x||^2 when the domain is known, otherwise use the
+/// alpha/beta-driven k. Returns at least 1.
+int64_t OptimalSketchDimension(const NoiseDistribution& noise, double z2sq);
+
+/// Note 5's crossover: Laplace beats Gaussian iff delta < this value
+/// (= e^{-Delta_1^2 / Delta_2^2}).
+double Note5DeltaCrossover(const Sensitivities& sens);
+
+/// Exact mechanism comparison: true iff Laplace yields strictly lower total
+/// estimator variance than Gaussian for this transform, budget and pair.
+///
+/// Note 5 compares only second moments and is correct to first order; the
+/// fourth-moment terms (2k E[eta^4], with the Laplace's heavier tail) open
+/// a constant-width window just below e^{-Delta_1^2/Delta_2^2} where
+/// Gaussian still wins when the k-scaled constant term dominates.
+/// Experiment E4 quantifies the window. Requires delta > 0.
+bool LaplacePreferredExact(const LinearTransform& transform, double epsilon,
+                           double delta, double z2sq, double z4p4);
+
+/// Section 7's headline crossover against the Kenthapadi baseline:
+/// delta < e^{-s} (the SJLT's Delta_1^2 with Delta_2 = 1).
+double Section7DeltaCrossover(int64_t s);
+
+}  // namespace dpjl
+
+#endif  // DPJL_CORE_VARIANCE_MODEL_H_

@@ -1,0 +1,54 @@
+#include "src/dp/accountant.h"
+
+#include <cmath>
+
+namespace dpjl {
+
+void PrivacyAccountant::Record(PrivacyParams params) { spends_.push_back(params); }
+
+PrivacyParams PrivacyAccountant::BasicComposition() const {
+  PrivacyParams total{0.0, 0.0};
+  for (const PrivacyParams& p : spends_) {
+    total.epsilon += p.epsilon;
+    total.delta += p.delta;
+  }
+  return total;
+}
+
+Result<PrivacyParams> PrivacyAccountant::AdvancedComposition(
+    double delta_slack) const {
+  if (spends_.empty()) {
+    return Status::FailedPrecondition("no releases recorded");
+  }
+  const PrivacyParams first = spends_.front();
+  for (const PrivacyParams& p : spends_) {
+    if (p.epsilon != first.epsilon || p.delta != first.delta) {
+      return Status::FailedPrecondition(
+          "advanced composition requires homogeneous releases");
+    }
+  }
+  return AdvancedCompositionBound(first, num_releases(), delta_slack);
+}
+
+Result<PrivacyParams> AdvancedCompositionBound(PrivacyParams per_release,
+                                               int64_t num_releases,
+                                               double delta_slack) {
+  if (num_releases <= 0) {
+    return Status::InvalidArgument("num_releases must be positive");
+  }
+  if (!(delta_slack > 0 && delta_slack < 1)) {
+    return Status::InvalidArgument("delta_slack must lie in (0, 1)");
+  }
+  const double t = static_cast<double>(num_releases);
+  const double eps = per_release.epsilon;
+  const double eps_total =
+      eps * std::sqrt(2.0 * t * std::log(1.0 / delta_slack)) +
+      t * eps * (std::exp(eps) - 1.0);
+  const double delta_total = t * per_release.delta + delta_slack;
+  if (!(delta_total < 1.0)) {
+    return Status::InvalidArgument("composed delta reaches 1; budget exhausted");
+  }
+  return PrivacyParams{eps_total, delta_total};
+}
+
+}  // namespace dpjl

@@ -1,0 +1,48 @@
+#ifndef DPJL_DP_ACCOUNTANT_H_
+#define DPJL_DP_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/dp/privacy_params.h"
+
+namespace dpjl {
+
+/// Budget accounting across multiple sketch releases by the same party.
+///
+/// The paper analyzes a single release per party; a deployment re-releasing
+/// sketches (e.g. a stream re-published every epoch) composes. Basic
+/// composition sums budgets; advanced composition (Dwork–Rothblum–Vadhan)
+/// trades a delta' slack for a sqrt(T) epsilon growth.
+class PrivacyAccountant {
+ public:
+  PrivacyAccountant() = default;
+
+  /// Records one release made with `params`.
+  void Record(PrivacyParams params);
+
+  int64_t num_releases() const { return static_cast<int64_t>(spends_.size()); }
+
+  /// Basic (sequential) composition: (sum eps_i, sum delta_i).
+  PrivacyParams BasicComposition() const;
+
+  /// Advanced composition for T releases each (eps, delta)-DP:
+  ///   eps' = eps sqrt(2 T ln(1/delta_slack)) + T eps (e^eps - 1),
+  ///   delta' = T delta + delta_slack.
+  /// Requires homogeneous spends (all recorded releases equal) and
+  /// delta_slack in (0, 1).
+  Result<PrivacyParams> AdvancedComposition(double delta_slack) const;
+
+ private:
+  std::vector<PrivacyParams> spends_;
+};
+
+/// Standalone advanced-composition bound for T copies of (eps, delta).
+Result<PrivacyParams> AdvancedCompositionBound(PrivacyParams per_release,
+                                               int64_t num_releases,
+                                               double delta_slack);
+
+}  // namespace dpjl
+
+#endif  // DPJL_DP_ACCOUNTANT_H_

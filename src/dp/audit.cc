@@ -1,0 +1,57 @@
+#include "src/dp/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/stats/histogram.h"
+
+namespace dpjl {
+
+Result<AuditResult> AuditEpsilon(
+    const std::function<double(Rng*)>& sample_x,
+    const std::function<double(Rng*)>& sample_neighbor,
+    const AuditOptions& options, uint64_t seed) {
+  if (options.trials < 1 || options.bins < 2 || options.min_count < 1) {
+    return Status::InvalidArgument("invalid audit options");
+  }
+  Rng rng(seed);
+  std::vector<double> xs(static_cast<size_t>(options.trials));
+  std::vector<double> ys(static_cast<size_t>(options.trials));
+  for (auto& v : xs) v = sample_x(&rng);
+  for (auto& v : ys) v = sample_neighbor(&rng);
+
+  const auto [xmin, xmax] = std::minmax_element(xs.begin(), xs.end());
+  const auto [ymin, ymax] = std::minmax_element(ys.begin(), ys.end());
+  const double lo = std::min(*xmin, *ymin);
+  const double hi = std::max(*xmax, *ymax);
+  if (!(hi > lo)) {
+    return Status::FailedPrecondition("degenerate mechanism output range");
+  }
+
+  Histogram hist_x(lo, hi, options.bins);
+  Histogram hist_y(lo, hi, options.bins);
+  for (double v : xs) hist_x.Add(v);
+  for (double v : ys) hist_y.Add(v);
+
+  AuditResult result;
+  for (int64_t b = 0; b < options.bins; ++b) {
+    if (hist_x.count(b) < options.min_count ||
+        hist_y.count(b) < options.min_count) {
+      continue;
+    }
+    const double ratio = std::log(static_cast<double>(hist_x.count(b)) /
+                                  static_cast<double>(hist_y.count(b)));
+    result.empirical_epsilon =
+        std::max(result.empirical_epsilon, std::fabs(ratio));
+    ++result.bins_evaluated;
+  }
+  if (result.bins_evaluated == 0) {
+    return Status::FailedPrecondition(
+        "no histogram bin had enough mass on both sides; increase trials or "
+        "reduce bins");
+  }
+  return result;
+}
+
+}  // namespace dpjl

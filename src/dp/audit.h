@@ -1,0 +1,55 @@
+#ifndef DPJL_DP_AUDIT_H_
+#define DPJL_DP_AUDIT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/result.h"
+#include "src/random/rng.h"
+
+namespace dpjl {
+
+/// Black-box empirical privacy auditing.
+///
+/// Samples a scalar mechanism output under two fixed neighboring inputs
+/// and lower-bounds the realized privacy loss from histogram likelihood
+/// ratios:
+///   eps_hat = max over bins of | log( P_hat[M(x) in bin] / P_hat[M(x') in bin] ) |.
+///
+/// Interpretation contract:
+///   * eps_hat is an *estimate of a lower bound*: a correct eps-DP
+///     mechanism satisfies eps_hat <= eps + sampling noise for every input
+///     pair and binning, so eps_hat >> eps exposes a calibration bug
+///     (wrong sensitivity, wrong scale, seed reuse).
+///   * eps_hat << eps does NOT certify privacy — it only says this
+///     particular pair/binning found no leak. Auditing complements, never
+///     replaces, the analytic guarantee.
+///
+/// This is the testing-oracle style of DP auditing (cf. DP-Sniper and
+/// statistical DP testers); the library uses it in its own test suite and
+/// exposes it for deployment smoke tests.
+struct AuditOptions {
+  int64_t trials = 50000;  // samples per input
+  int64_t bins = 24;       // histogram resolution over the observed range
+  /// Bins with fewer than this many expected samples on either side are
+  /// skipped: their ratios are sampling noise, not evidence.
+  int64_t min_count = 100;
+};
+
+struct AuditResult {
+  double empirical_epsilon = 0.0;  // max |log ratio| over trusted bins
+  int64_t bins_evaluated = 0;      // bins that met min_count on both sides
+};
+
+/// Runs the audit. `sample_x(rng)` and `sample_neighbor(rng)` must each
+/// draw one fresh scalar release of the mechanism under the two fixed
+/// neighboring inputs. Fails if options are invalid or no bin had enough
+/// mass on both sides.
+Result<AuditResult> AuditEpsilon(
+    const std::function<double(Rng*)>& sample_x,
+    const std::function<double(Rng*)>& sample_neighbor,
+    const AuditOptions& options, uint64_t seed);
+
+}  // namespace dpjl
+
+#endif  // DPJL_DP_AUDIT_H_

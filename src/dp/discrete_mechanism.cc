@@ -1,0 +1,102 @@
+#include "src/dp/discrete_mechanism.h"
+
+#include <cmath>
+
+#include "src/dp/noise_distribution.h"
+#include "src/random/discrete.h"
+
+namespace dpjl {
+
+Result<DiscreteLaplaceMechanism> DiscreteLaplaceMechanism::Create(
+    double l1_sensitivity, double epsilon, int64_t k, double resolution) {
+  if (!(l1_sensitivity > 0)) {
+    return Status::InvalidArgument("l1 sensitivity must be positive");
+  }
+  if (!(epsilon > 0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (!(resolution > 0)) {
+    return Status::InvalidArgument("resolution must be positive");
+  }
+  const double integer_sensitivity =
+      l1_sensitivity / resolution + static_cast<double>(k);
+  return DiscreteLaplaceMechanism(integer_sensitivity / epsilon, resolution);
+}
+
+double DiscreteLaplaceMechanism::DefaultResolution(double l1_sensitivity,
+                                                   int64_t k) {
+  return l1_sensitivity / (100.0 * static_cast<double>(k));
+}
+
+void DiscreteLaplaceMechanism::Apply(std::vector<double>* values, Rng* rng) const {
+  for (double& v : *values) {
+    const double grid = std::floor(v / resolution_);
+    const int64_t noise = SampleDiscreteLaplace(grid_scale_, rng);
+    v = resolution_ * (grid + static_cast<double>(noise));
+  }
+}
+
+double DiscreteLaplaceMechanism::NoiseSecondMoment() const {
+  return resolution_ * resolution_ *
+         NoiseDistribution::DiscreteLaplace(grid_scale_).SecondMoment();
+}
+
+double DiscreteLaplaceMechanism::NoiseFourthMoment() const {
+  const double r2 = resolution_ * resolution_;
+  return r2 * r2 * NoiseDistribution::DiscreteLaplace(grid_scale_).FourthMoment();
+}
+
+Result<DiscreteGaussianMechanism> DiscreteGaussianMechanism::Create(
+    double l2_sensitivity, double epsilon, double delta, int64_t k,
+    double resolution) {
+  if (!(l2_sensitivity > 0)) {
+    return Status::InvalidArgument("l2 sensitivity must be positive");
+  }
+  if (!(epsilon > 0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (!(delta > 0 && delta < 1)) {
+    return Status::InvalidArgument("delta must lie in (0, 1)");
+  }
+  if (k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (!(resolution > 0)) {
+    return Status::InvalidArgument("resolution must be positive");
+  }
+  const double integer_sensitivity =
+      l2_sensitivity / resolution + std::sqrt(static_cast<double>(k));
+  const double grid_sigma = integer_sensitivity / epsilon *
+                            std::sqrt(2.0 * std::log(1.25 / delta));
+  return DiscreteGaussianMechanism(grid_sigma, resolution);
+}
+
+double DiscreteGaussianMechanism::DefaultResolution(double l2_sensitivity,
+                                                    int64_t k) {
+  return l2_sensitivity / (100.0 * std::sqrt(static_cast<double>(k)));
+}
+
+void DiscreteGaussianMechanism::Apply(std::vector<double>* values,
+                                      Rng* rng) const {
+  for (double& v : *values) {
+    const double grid = std::floor(v / resolution_);
+    const int64_t noise = SampleDiscreteGaussian(grid_sigma_, rng);
+    v = resolution_ * (grid + static_cast<double>(noise));
+  }
+}
+
+double DiscreteGaussianMechanism::NoiseSecondMoment() const {
+  return resolution_ * resolution_ *
+         NoiseDistribution::DiscreteGaussian(grid_sigma_).SecondMoment();
+}
+
+double DiscreteGaussianMechanism::NoiseFourthMoment() const {
+  const double r2 = resolution_ * resolution_;
+  return r2 * r2 *
+         NoiseDistribution::DiscreteGaussian(grid_sigma_).FourthMoment();
+}
+
+}  // namespace dpjl

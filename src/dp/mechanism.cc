@@ -1,0 +1,81 @@
+#include "src/dp/mechanism.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dpjl {
+
+double LaplaceScale(double l1_sensitivity, double epsilon) {
+  DPJL_CHECK(l1_sensitivity > 0, "l1 sensitivity must be positive");
+  DPJL_CHECK(epsilon > 0, "epsilon must be positive");
+  return l1_sensitivity / epsilon;
+}
+
+double GaussianSigma(double l2_sensitivity, double epsilon, double delta) {
+  DPJL_CHECK(l2_sensitivity > 0, "l2 sensitivity must be positive");
+  DPJL_CHECK(epsilon > 0, "epsilon must be positive");
+  DPJL_CHECK(delta > 0 && delta < 1, "Gaussian mechanism needs delta in (0,1)");
+  return l2_sensitivity / epsilon * std::sqrt(2.0 * std::log(1.25 / delta));
+}
+
+bool LaplacePreferred(const Sensitivities& sens, double delta) {
+  if (delta == 0.0) return true;
+  const double ratio = sens.l1 / sens.l2;
+  return delta < std::exp(-ratio * ratio);
+}
+
+Result<Mechanism> Mechanism::Laplace(double l1_sensitivity, double epsilon) {
+  if (!(l1_sensitivity > 0)) {
+    return Status::InvalidArgument("l1 sensitivity must be positive");
+  }
+  DPJL_ASSIGN_OR_RETURN(PrivacyParams params, PrivacyParams::Pure(epsilon));
+  return Mechanism(NoiseDistribution::Laplace(LaplaceScale(l1_sensitivity, epsilon)),
+                   params, /*is_private=*/true);
+}
+
+Result<Mechanism> Mechanism::Gaussian(double l2_sensitivity, PrivacyParams params) {
+  if (!(l2_sensitivity > 0)) {
+    return Status::InvalidArgument("l2 sensitivity must be positive");
+  }
+  if (params.pure()) {
+    return Status::InvalidArgument(
+        "Gaussian mechanism cannot provide pure DP; use Laplace");
+  }
+  const double sigma = GaussianSigma(l2_sensitivity, params.epsilon, params.delta);
+  return Mechanism(NoiseDistribution::Gaussian(sigma), params, /*is_private=*/true);
+}
+
+Result<Mechanism> Mechanism::Choose(const Sensitivities& sens, PrivacyParams params) {
+  // Note 5: compare the exact per-coordinate second moments. Laplace gives
+  // m2 = 2 (Delta_1/eps)^2; Gaussian gives m2 = sigma^2. Laplace also wins
+  // on pure DP whenever it is usable at all.
+  if (params.pure() || !(sens.l2 > 0)) {
+    return Laplace(sens.l1, params.epsilon);
+  }
+  const double laplace_m2 =
+      2.0 * LaplaceScale(sens.l1, params.epsilon) * LaplaceScale(sens.l1, params.epsilon);
+  const double sigma = GaussianSigma(sens.l2, params.epsilon, params.delta);
+  const double gaussian_m2 = sigma * sigma;
+  if (laplace_m2 <= gaussian_m2) {
+    return Laplace(sens.l1, params.epsilon);
+  }
+  return Gaussian(sens.l2, params);
+}
+
+Mechanism Mechanism::NonPrivate() {
+  return Mechanism(NoiseDistribution::None(), PrivacyParams{0.0, 0.0},
+                   /*is_private=*/false);
+}
+
+void Mechanism::AddNoise(std::vector<double>* values, Rng* rng) const {
+  if (noise_.kind() == NoiseDistribution::Kind::kNone) return;
+  for (double& v : *values) v += noise_.Sample(rng);
+}
+
+std::string Mechanism::Name() const {
+  if (!private_) return "NonPrivate";
+  return noise_.Name() + " " + params_.ToString();
+}
+
+}  // namespace dpjl

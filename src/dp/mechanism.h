@@ -1,0 +1,76 @@
+#ifndef DPJL_DP_MECHANISM_H_
+#define DPJL_DP_MECHANISM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/dp/noise_distribution.h"
+#include "src/dp/privacy_params.h"
+#include "src/dp/sensitivity.h"
+#include "src/random/rng.h"
+
+namespace dpjl {
+
+/// Laplace scale b = Delta_1 / epsilon (Lemma 1).
+double LaplaceScale(double l1_sensitivity, double epsilon);
+
+/// Gaussian sigma = Delta_2 / epsilon * sqrt(2 ln(1.25/delta)) (Lemma 2).
+/// Requires delta in (0, 1). The classic calibration is proven for
+/// epsilon <= 1; the paper (and this library) applies it as stated.
+double GaussianSigma(double l2_sensitivity, double epsilon, double delta);
+
+/// The paper's Note 5 selection rule, eq. (3): Laplace yields lower variance
+/// than Gaussian exactly when
+///   Delta_1 < Delta_2 * sqrt(ln(1/delta))   <=>   delta < e^{-Delta_1^2/Delta_2^2}.
+/// For delta == 0 only Laplace applies and this returns true.
+bool LaplacePreferred(const Sensitivities& sens, double delta);
+
+/// Output-perturbation mechanism: a noise distribution calibrated so that
+/// releasing `value + noise` satisfies the attached PrivacyParams for any
+/// query with the stated sensitivity.
+///
+/// This is a value type; it owns no randomness. Sampling takes an explicit
+/// Rng so parties keep independent noise streams.
+class Mechanism {
+ public:
+  /// Pure epsilon-DP via Lap(Delta_1/epsilon) per coordinate (Lemma 1).
+  static Result<Mechanism> Laplace(double l1_sensitivity, double epsilon);
+
+  /// (epsilon, delta)-DP via N(0, sigma^2) per coordinate (Lemma 2).
+  static Result<Mechanism> Gaussian(double l2_sensitivity, PrivacyParams params);
+
+  /// Applies Note 5: Laplace when it has lower variance (or delta == 0),
+  /// Gaussian otherwise. The chosen mechanism's params() reflect the
+  /// guarantee actually provided (pure when Laplace is chosen).
+  static Result<Mechanism> Choose(const Sensitivities& sens, PrivacyParams params);
+
+  /// The noise-free mechanism (no privacy; for baselines). params() has
+  /// epsilon = +infinity semantics, represented as epsilon = 0 / delta = 0
+  /// with `private_release() == false`.
+  static Mechanism NonPrivate();
+
+  const NoiseDistribution& distribution() const { return noise_; }
+  const PrivacyParams& params() const { return params_; }
+  bool private_release() const { return private_; }
+
+  /// Adds one i.i.d. noise sample to each coordinate of `values`.
+  void AddNoise(std::vector<double>* values, Rng* rng) const;
+
+  /// E[eta^2] of the per-coordinate noise; the estimator centering term.
+  double NoiseSecondMoment() const { return noise_.SecondMoment(); }
+
+  std::string Name() const;
+
+ private:
+  Mechanism(NoiseDistribution noise, PrivacyParams params, bool is_private)
+      : noise_(noise), params_(params), private_(is_private) {}
+
+  NoiseDistribution noise_;
+  PrivacyParams params_;
+  bool private_;
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_DP_MECHANISM_H_

@@ -1,0 +1,77 @@
+#ifndef DPJL_DP_RENYI_H_
+#define DPJL_DP_RENYI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/dp/noise_distribution.h"
+#include "src/dp/privacy_params.h"
+
+namespace dpjl {
+
+/// Rényi differential privacy accounting (Mironov, CSF 2017 — reference
+/// [35] of the paper) for tighter multi-release budgets than advanced
+/// composition.
+///
+/// A mechanism is (order, eps_r)-RDP if the Rényi divergence of order
+/// `order` between its output distributions on any neighboring inputs is
+/// at most eps_r. RDP composes by simple addition per order and converts
+/// back to (eps, delta)-DP via
+///   eps = eps_r + log(1/delta) / (order - 1).
+///
+/// Closed forms used here (for queries with the stated sensitivities,
+/// which is what the sketcher's mechanisms calibrate to):
+///   * Gaussian, sigma calibrated to l2-sensitivity Delta_2:
+///       eps_r(order) = order * Delta_2^2 / (2 sigma^2).
+///   * Laplace, scale b calibrated to l1-sensitivity Delta_1 (worst-case
+///     shift Delta_1; Mironov Prop. 6 with t = Delta_1/b):
+///       eps_r(order) = (1/(order-1)) * log(
+///           (order/(2 order - 1)) e^{t(order-1)} +
+///           ((order-1)/(2 order - 1)) e^{-t order} )   for order > 1.
+///   * Any pure eps-DP mechanism is (order, eps)-RDP for all orders.
+class RenyiAccountant {
+ public:
+  /// Tracks the default grid of orders {1.5, 2, 3, ..., 64} unless a
+  /// custom grid is supplied. All orders must be > 1.
+  RenyiAccountant();
+  static Result<RenyiAccountant> WithOrders(std::vector<double> orders);
+
+  /// Records a Gaussian-mechanism release with noise `sigma` on a query of
+  /// l2-sensitivity `l2_sensitivity`.
+  void RecordGaussian(double sigma, double l2_sensitivity);
+
+  /// Records a Laplace-mechanism release with scale `b` on a query of
+  /// l1-sensitivity `l1_sensitivity`.
+  void RecordLaplace(double b, double l1_sensitivity);
+
+  /// Records any pure eps-DP release.
+  void RecordPure(double epsilon);
+
+  int64_t num_releases() const { return num_releases_; }
+
+  /// Converts the accumulated RDP curve to an (eps, delta)-DP guarantee,
+  /// minimizing over tracked orders. Requires delta in (0, 1).
+  Result<PrivacyParams> ToApproxDp(double delta) const;
+
+  /// The accumulated RDP epsilon at each tracked order (for inspection).
+  const std::vector<double>& orders() const { return orders_; }
+  const std::vector<double>& rdp_epsilons() const { return rdp_eps_; }
+
+ private:
+  explicit RenyiAccountant(std::vector<double> orders);
+
+  std::vector<double> orders_;
+  std::vector<double> rdp_eps_;
+  int64_t num_releases_ = 0;
+};
+
+/// Single-release RDP of the Gaussian mechanism at `order`.
+double GaussianRdp(double order, double sigma, double l2_sensitivity);
+
+/// Single-release RDP of the Laplace mechanism at `order` (> 1).
+double LaplaceRdp(double order, double b, double l1_sensitivity);
+
+}  // namespace dpjl
+
+#endif  // DPJL_DP_RENYI_H_

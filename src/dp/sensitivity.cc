@@ -1,0 +1,32 @@
+#include "src/dp/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace dpjl {
+
+std::string Sensitivities::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(l1=%g, l2=%g)", l1, l2);
+  return buf;
+}
+
+Sensitivities ComputeSensitivities(const DenseMatrix& m) {
+  Sensitivities out;
+  for (int64_t j = 0; j < m.cols(); ++j) {
+    out.l1 = std::max(out.l1, m.ColumnNormL1(j));
+    out.l2 = std::max(out.l2, m.ColumnNormL2(j));
+  }
+  return out;
+}
+
+double NoiseMagnitudeProxy(const Sensitivities& s, double delta) {
+  DPJL_CHECK(delta >= 0.0 && delta < 1.0, "delta must lie in [0, 1)");
+  if (delta == 0.0) return s.l1;
+  return std::min(s.l1, s.l2 * std::sqrt(std::log(1.0 / delta)));
+}
+
+}  // namespace dpjl

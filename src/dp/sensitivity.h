@@ -1,0 +1,33 @@
+#ifndef DPJL_DP_SENSITIVITY_H_
+#define DPJL_DP_SENSITIVITY_H_
+
+#include <string>
+
+#include "src/linalg/dense_matrix.h"
+
+namespace dpjl {
+
+/// Exact l1/l2 sensitivities of a linear transformation (Definition 3):
+///   Delta_p(S) = max_j ||S_{.,j}||_p
+/// because any l1-neighboring difference is a convex combination of signed
+/// basis vectors (Note 3).
+struct Sensitivities {
+  double l1 = 0.0;
+  double l2 = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Exact sensitivities of an explicit matrix; O(rows * cols). This is the
+/// initialization cost the paper attributes to Kenthapadi et al.
+/// (Section 2.1.1): transforms without structurally known sensitivities must
+/// pay this scan before noise can be calibrated safely.
+Sensitivities ComputeSensitivities(const DenseMatrix& m);
+
+/// Lemma 4's noise magnitude proxy: m = min{Delta_1, Delta_2 sqrt(ln(1/delta))}.
+/// For delta == 0 only the Laplace branch exists, so m = Delta_1.
+double NoiseMagnitudeProxy(const Sensitivities& s, double delta);
+
+}  // namespace dpjl
+
+#endif  // DPJL_DP_SENSITIVITY_H_

@@ -1,0 +1,39 @@
+#include "src/dp/snapping.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpjl {
+
+Result<SnappingMechanism> SnappingMechanism::Create(double l1_sensitivity,
+                                                    double epsilon,
+                                                    double clamp_bound) {
+  if (!(l1_sensitivity > 0)) {
+    return Status::InvalidArgument("l1 sensitivity must be positive");
+  }
+  if (!(epsilon > 0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (!(clamp_bound > 0)) {
+    return Status::InvalidArgument("clamp bound must be positive");
+  }
+  const double b = l1_sensitivity / epsilon;
+  // Smallest power of two >= b, via exact binary exponent manipulation.
+  const double lambda = std::exp2(std::ceil(std::log2(b)));
+  return SnappingMechanism(b, lambda, clamp_bound);
+}
+
+double SnappingMechanism::Apply(double value, Rng* rng) const {
+  const double clamped = std::clamp(value, -clamp_bound_, clamp_bound_);
+  const double noisy = clamped + rng->Laplace(scale_);
+  // Round to the nearest multiple of lambda_ (ties to even via nearbyint,
+  // which is the deterministic rounding Mironov's analysis assumes).
+  const double snapped = lambda_ * std::nearbyint(noisy / lambda_);
+  return std::clamp(snapped, -clamp_bound_, clamp_bound_);
+}
+
+void SnappingMechanism::ApplyVector(std::vector<double>* values, Rng* rng) const {
+  for (double& v : *values) v = Apply(v, rng);
+}
+
+}  // namespace dpjl

@@ -1,0 +1,69 @@
+#include "src/jl/achlioptas.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/random/rng.h"
+
+namespace dpjl {
+
+Result<std::unique_ptr<AchlioptasJl>> AchlioptasJl::Create(int64_t d, int64_t k,
+                                                           uint64_t seed) {
+  if (d < 1 || k < 1) {
+    return Status::InvalidArgument("AchlioptasJl requires d >= 1 and k >= 1");
+  }
+  DenseMatrix m(k, d);
+  Rng rng(seed);
+  const double magnitude = std::sqrt(3.0 / static_cast<double>(k));
+  for (double& v : m.data()) {
+    const uint64_t die = rng.UniformInt(6);
+    if (die == 0) {
+      v = magnitude;
+    } else if (die == 1) {
+      v = -magnitude;
+    } else {
+      v = 0.0;
+    }
+  }
+  return std::unique_ptr<AchlioptasJl>(new AchlioptasJl(std::move(m)));
+}
+
+std::vector<double> AchlioptasJl::Apply(const std::vector<double>& x) const {
+  return matrix_.Apply(x);
+}
+
+std::vector<double> AchlioptasJl::ApplySparse(const SparseVector& x) const {
+  return matrix_.ApplySparse(x);
+}
+
+void AchlioptasJl::AccumulateColumn(int64_t j, double weight,
+                                    std::vector<double>* y) const {
+  DPJL_CHECK(j >= 0 && j < input_dim(), "column index out of range");
+  DPJL_CHECK(static_cast<int64_t>(y->size()) == output_dim(),
+             "output buffer size mismatch");
+  for (int64_t i = 0; i < output_dim(); ++i) {
+    (*y)[i] += weight * matrix_.At(i, j);
+  }
+}
+
+Sensitivities AchlioptasJl::ExactSensitivities() const {
+  if (!cached_sensitivities_) {
+    cached_sensitivities_ = ComputeSensitivities(matrix_);
+  }
+  return *cached_sensitivities_;
+}
+
+double AchlioptasJl::SquaredNormVariance(double z_norm2_sq,
+                                         double /*z_norm4_pow4*/) const {
+  return 2.0 / static_cast<double>(output_dim()) * z_norm2_sq * z_norm2_sq;
+}
+
+std::string AchlioptasJl::Name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "achlioptas(k=%lld)",
+                static_cast<long long>(output_dim()));
+  return buf;
+}
+
+}  // namespace dpjl

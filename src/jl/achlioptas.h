@@ -1,0 +1,50 @@
+#ifndef DPJL_JL_ACHLIOPTAS_H_
+#define DPJL_JL_ACHLIOPTAS_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/common/result.h"
+#include "src/jl/transform.h"
+#include "src/linalg/dense_matrix.h"
+
+namespace dpjl {
+
+/// Achlioptas' database-friendly JL transform: entries i.i.d.
+///   sqrt(3/k) * { +1 w.p. 1/6,  0 w.p. 2/3,  -1 w.p. 1/6 }.
+///
+/// Kenthapadi et al. state (without proof) that their construction extends
+/// to this transform (Section 2.1.1); this class provides the transform so
+/// the claim is exercised by tests and benches. LPP holds exactly
+/// (E[S_ij^2] = 1/k) and, because the entry fourth moment equals the
+/// Gaussian's (E[S^4] = 3/k^2), the squared-norm variance is exactly
+/// (2/k)||z||_2^4 — identical to the i.i.d. Gaussian transform.
+///
+/// Like the Gaussian transform its sensitivities are unbounded a priori and
+/// cost an O(dk) scan (cached).
+class AchlioptasJl : public LinearTransform {
+ public:
+  static Result<std::unique_ptr<AchlioptasJl>> Create(int64_t d, int64_t k,
+                                                      uint64_t seed);
+
+  int64_t input_dim() const override { return matrix_.cols(); }
+  int64_t output_dim() const override { return matrix_.rows(); }
+  std::vector<double> Apply(const std::vector<double>& x) const override;
+  std::vector<double> ApplySparse(const SparseVector& x) const override;
+  void AccumulateColumn(int64_t j, double weight,
+                        std::vector<double>* y) const override;
+  int64_t column_cost() const override { return output_dim(); }
+  Sensitivities ExactSensitivities() const override;
+  double SquaredNormVariance(double z_norm2_sq, double z_norm4_pow4) const override;
+  std::string Name() const override;
+
+ private:
+  explicit AchlioptasJl(DenseMatrix matrix) : matrix_(std::move(matrix)) {}
+
+  DenseMatrix matrix_;
+  mutable std::optional<Sensitivities> cached_sensitivities_;
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_JL_ACHLIOPTAS_H_

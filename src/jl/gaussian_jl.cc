@@ -1,0 +1,60 @@
+#include "src/jl/gaussian_jl.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/random/rng.h"
+
+namespace dpjl {
+
+Result<std::unique_ptr<GaussianJl>> GaussianJl::Create(int64_t d, int64_t k,
+                                                       uint64_t seed) {
+  if (d < 1 || k < 1) {
+    return Status::InvalidArgument("GaussianJl requires d >= 1 and k >= 1");
+  }
+  DenseMatrix m(k, d);
+  Rng rng(seed);
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(k));
+  for (double& v : m.data()) v = rng.Gaussian(stddev);
+  return std::unique_ptr<GaussianJl>(new GaussianJl(std::move(m)));
+}
+
+std::vector<double> GaussianJl::Apply(const std::vector<double>& x) const {
+  return matrix_.Apply(x);
+}
+
+std::vector<double> GaussianJl::ApplySparse(const SparseVector& x) const {
+  return matrix_.ApplySparse(x);
+}
+
+void GaussianJl::AccumulateColumn(int64_t j, double weight,
+                                  std::vector<double>* y) const {
+  DPJL_CHECK(j >= 0 && j < input_dim(), "column index out of range");
+  DPJL_CHECK(static_cast<int64_t>(y->size()) == output_dim(),
+             "output buffer size mismatch");
+  for (int64_t i = 0; i < output_dim(); ++i) {
+    (*y)[i] += weight * matrix_.At(i, j);
+  }
+}
+
+Sensitivities GaussianJl::ExactSensitivities() const {
+  if (!cached_sensitivities_) {
+    cached_sensitivities_ = ComputeSensitivities(matrix_);
+  }
+  return *cached_sensitivities_;
+}
+
+double GaussianJl::SquaredNormVariance(double z_norm2_sq,
+                                       double /*z_norm4_pow4*/) const {
+  return 2.0 / static_cast<double>(output_dim()) * z_norm2_sq * z_norm2_sq;
+}
+
+std::string GaussianJl::Name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "gaussian-iid(k=%lld)",
+                static_cast<long long>(output_dim()));
+  return buf;
+}
+
+}  // namespace dpjl

@@ -1,0 +1,55 @@
+#ifndef DPJL_JL_GAUSSIAN_JL_H_
+#define DPJL_JL_GAUSSIAN_JL_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/common/result.h"
+#include "src/jl/transform.h"
+#include "src/linalg/dense_matrix.h"
+
+namespace dpjl {
+
+/// The classical i.i.d. Gaussian JL transform of Indyk & Motwani — the
+/// projection underlying the Kenthapadi et al. baseline (Theorems 1 and 2).
+///
+/// Entries are i.i.d. N(0, 1/k), so LPP holds exactly:
+///   E||P x||^2 = sum_i Var[<P_i, x>] = k * ||x||^2 / k = ||x||^2,
+/// and ||P z||^2 ~ ||z||^2 * chi^2_k / k gives the exact variance
+/// (2/k)||z||_2^4 independent of ||z||_4.
+///
+/// Each column is a scaled Gaussian vector, so the l2 column norms (and
+/// hence Delta_2) concentrate near 1 but are *not* bounded — the privacy
+/// pitfall of Section 2.1.1 that the paper's SJLT construction removes.
+/// ExactSensitivities() performs the O(dk) scan once and caches it; this is
+/// the "initialization cost" the comparison experiments charge to this
+/// baseline.
+class GaussianJl : public LinearTransform {
+ public:
+  /// Builds a k x d transform. d, k >= 1. Memory: O(dk) doubles.
+  static Result<std::unique_ptr<GaussianJl>> Create(int64_t d, int64_t k,
+                                                    uint64_t seed);
+
+  int64_t input_dim() const override { return matrix_.cols(); }
+  int64_t output_dim() const override { return matrix_.rows(); }
+  std::vector<double> Apply(const std::vector<double>& x) const override;
+  std::vector<double> ApplySparse(const SparseVector& x) const override;
+  void AccumulateColumn(int64_t j, double weight,
+                        std::vector<double>* y) const override;
+  int64_t column_cost() const override { return output_dim(); }
+  Sensitivities ExactSensitivities() const override;
+  double SquaredNormVariance(double z_norm2_sq, double z_norm4_pow4) const override;
+  std::string Name() const override;
+
+  const DenseMatrix& matrix() const { return matrix_; }
+
+ private:
+  GaussianJl(DenseMatrix matrix) : matrix_(std::move(matrix)) {}
+
+  DenseMatrix matrix_;
+  mutable std::optional<Sensitivities> cached_sensitivities_;
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_JL_GAUSSIAN_JL_H_

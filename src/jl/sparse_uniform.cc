@@ -1,0 +1,100 @@
+#include "src/jl/sparse_uniform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/random/rng.h"
+#include "src/random/splitmix64.h"
+
+namespace dpjl {
+
+Result<std::unique_ptr<SparseUniformJl>> SparseUniformJl::Create(int64_t d,
+                                                                 int64_t k,
+                                                                 int64_t s,
+                                                                 uint64_t seed) {
+  if (d < 1 || k < 1) {
+    return Status::InvalidArgument("SparseUniformJl requires d >= 1 and k >= 1");
+  }
+  if (s < 1) {
+    return Status::InvalidArgument("SparseUniformJl requires s >= 1");
+  }
+  return std::unique_ptr<SparseUniformJl>(new SparseUniformJl(d, k, s, seed));
+}
+
+SparseUniformJl::SparseUniformJl(int64_t d, int64_t k, int64_t s, uint64_t seed)
+    : d_(d),
+      k_(k),
+      s_(s),
+      inv_sqrt_s_(1.0 / std::sqrt(static_cast<double>(s))),
+      seed_(seed) {}
+
+void SparseUniformJl::AccumulateColumn(int64_t j, double weight,
+                                       std::vector<double>* y) const {
+  DPJL_DCHECK(j >= 0 && j < d_, "column index out of range");
+  DPJL_DCHECK(static_cast<int64_t>(y->size()) == k_, "output buffer size mismatch");
+  // Per-column deterministic stream: s i.i.d. (row, sign) draws, with
+  // replacement (collisions intended — that is the construction).
+  Rng rng(DeriveSeed(seed_, static_cast<uint64_t>(j) + 0xD45ULL));
+  const double w = weight * inv_sqrt_s_;
+  for (int64_t t = 0; t < s_; ++t) {
+    const int64_t row =
+        static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(k_)));
+    (*y)[row] += w * rng.Rademacher();
+  }
+}
+
+std::vector<double> SparseUniformJl::Apply(const std::vector<double>& x) const {
+  DPJL_CHECK(static_cast<int64_t>(x.size()) == d_, "Apply: dimension mismatch");
+  std::vector<double> y(static_cast<size_t>(k_), 0.0);
+  for (int64_t j = 0; j < d_; ++j) {
+    if (x[j] != 0.0) AccumulateColumn(j, x[j], &y);
+  }
+  return y;
+}
+
+std::vector<double> SparseUniformJl::ApplySparse(const SparseVector& x) const {
+  DPJL_CHECK(x.dim() == d_, "ApplySparse: dimension mismatch");
+  std::vector<double> y(static_cast<size_t>(k_), 0.0);
+  for (const SparseVector::Entry& e : x.entries()) {
+    AccumulateColumn(e.index, e.value, &y);
+  }
+  return y;
+}
+
+Sensitivities SparseUniformJl::ExactSensitivities() const {
+  if (cached_sensitivities_) return *cached_sensitivities_;
+  // Collisions randomize the column norms; scan every column exactly.
+  Sensitivities sens;
+  std::vector<double> column(static_cast<size_t>(k_), 0.0);
+  for (int64_t j = 0; j < d_; ++j) {
+    std::fill(column.begin(), column.end(), 0.0);
+    AccumulateColumn(j, 1.0, &column);
+    double l1 = 0.0;
+    double l2_sq = 0.0;
+    for (double v : column) {
+      l1 += std::fabs(v);
+      l2_sq += v * v;
+    }
+    sens.l1 = std::max(sens.l1, l1);
+    sens.l2 = std::max(sens.l2, std::sqrt(l2_sq));
+  }
+  cached_sensitivities_ = sens;
+  return sens;
+}
+
+double SparseUniformJl::SquaredNormVariance(double z_norm2_sq,
+                                            double z_norm4_pow4) const {
+  return 2.0 / static_cast<double>(k_) *
+         (z_norm2_sq * z_norm2_sq - z_norm4_pow4 / static_cast<double>(s_));
+}
+
+std::string SparseUniformJl::Name() const {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "sparse-uniform(k=%lld,s=%lld)",
+                static_cast<long long>(k_), static_cast<long long>(s_));
+  return buf;
+}
+
+}  // namespace dpjl

@@ -1,0 +1,66 @@
+#ifndef DPJL_JL_SPARSE_UNIFORM_H_
+#define DPJL_JL_SPARSE_UNIFORM_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "src/common/result.h"
+#include "src/jl/transform.h"
+
+namespace dpjl {
+
+/// Sparse JL with replacement — the Dasgupta–Kumar–Sarlós-style
+/// construction the paper contrasts with Kane–Nelson in Section 2.1.
+///
+/// Each column draws s (row, sign) pairs i.i.d. uniformly WITH replacement:
+///   S_{i,j} = (1/sqrt(s)) * sum_t phi_{j,t} * 1[r_{j,t} = i].
+/// LPP holds exactly, and the squared-norm variance is exactly
+///   Var[||S z||^2] = (2/k) (||z||_2^4 - ||z||_4^4 / s)
+/// — strictly worse than Kane–Nelson's (2/k)(||z||_2^4 - ||z||_4^4) by the
+/// collision term.
+///
+/// The decisive difference for privacy: collisions make the column norms
+/// RANDOM. A same-sign collision stacks 2/sqrt(s) into one row, pushing
+/// ||column||_2 above 1 (up to sqrt(s) in the worst case) and shrinking
+/// ||column||_1 below sqrt(s). Sensitivities must therefore be scanned
+/// exactly (O(ds), cached) rather than read off the construction — the
+/// same calibration burden as the dense baselines, and the concrete reason
+/// Theorem 3 builds on the exactly-one-per-block Kane–Nelson transform.
+/// Included as an ablation baseline (see bench_e7 / bench_a2).
+class SparseUniformJl : public LinearTransform {
+ public:
+  /// 1 <= s; d, k >= 1.
+  static Result<std::unique_ptr<SparseUniformJl>> Create(int64_t d, int64_t k,
+                                                         int64_t s,
+                                                         uint64_t seed);
+
+  int64_t input_dim() const override { return d_; }
+  int64_t output_dim() const override { return k_; }
+  std::vector<double> Apply(const std::vector<double>& x) const override;
+  std::vector<double> ApplySparse(const SparseVector& x) const override;
+  void AccumulateColumn(int64_t j, double weight,
+                        std::vector<double>* y) const override;
+  int64_t column_cost() const override { return s_; }
+  /// Exact via an O(ds) per-column scan (collisions randomize the norms).
+  Sensitivities ExactSensitivities() const override;
+  /// Exact: (2/k)(z2sq^2 - z4p4/s).
+  double SquaredNormVariance(double z_norm2_sq, double z_norm4_pow4) const override;
+  std::string Name() const override;
+
+  int64_t sparsity() const { return s_; }
+
+ private:
+  SparseUniformJl(int64_t d, int64_t k, int64_t s, uint64_t seed);
+
+  int64_t d_;
+  int64_t k_;
+  int64_t s_;
+  double inv_sqrt_s_;
+  uint64_t seed_;
+  mutable std::optional<Sensitivities> cached_sensitivities_;
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_JL_SPARSE_UNIFORM_H_

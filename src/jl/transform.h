@@ -1,0 +1,73 @@
+#ifndef DPJL_JL_TRANSFORM_H_
+#define DPJL_JL_TRANSFORM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dp/sensitivity.h"
+#include "src/linalg/dense_matrix.h"
+#include "src/linalg/sparse_vector.h"
+
+namespace dpjl {
+
+/// A random k x d linear projection with the Length Preserving Property
+/// (Definition 4):  E[ ||S x||_2^2 ] = ||x||_2^2  for every x in R^d.
+///
+/// This is the contract the paper's general analysis (Section 4) requires;
+/// every concrete transform in src/jl/ satisfies it and additionally exposes
+/// the two quantities the private estimator machinery needs:
+///   * exact l1/l2 sensitivities (Definition 3) for noise calibration, and
+///   * the exact variance of ||S z||^2 (Appendix B/D) for the analytic
+///     variance model.
+///
+/// Implementations are immutable after construction and safe to share
+/// across threads for Apply-style calls. All randomness is fixed by the
+/// constructor seed: two transforms built with equal parameters and seeds
+/// are identical maps, which is how distributed parties agree on the public
+/// projection.
+class LinearTransform {
+ public:
+  virtual ~LinearTransform() = default;
+
+  /// Input dimension d.
+  virtual int64_t input_dim() const = 0;
+  /// Output (sketch) dimension k.
+  virtual int64_t output_dim() const = 0;
+
+  /// y = S x. `x.size()` must equal input_dim().
+  virtual std::vector<double> Apply(const std::vector<double>& x) const = 0;
+
+  /// y = S x exploiting sparsity of x where the structure allows
+  /// (O(s ||x||_0 + k) for the SJLT). Default densifies.
+  virtual std::vector<double> ApplySparse(const SparseVector& x) const;
+
+  /// y += weight * S e_j: the column-update primitive behind streaming
+  /// sketches (Theorem 3.4). Touches at most column_cost() coordinates.
+  virtual void AccumulateColumn(int64_t j, double weight,
+                                std::vector<double>* y) const = 0;
+
+  /// Upper bound on coordinates touched by AccumulateColumn (s for the
+  /// SJLT, k for dense transforms).
+  virtual int64_t column_cost() const = 0;
+
+  /// Exact sensitivities (Definition 3). Structural O(1) for the SJLT;
+  /// O(dk) scan, computed once and cached, for unstructured transforms —
+  /// this is the initialization cost of Section 2.1.1.
+  virtual Sensitivities ExactSensitivities() const = 0;
+
+  /// Exact Var[ ||S z||_2^2 ] as a function of ||z||_2^2 and ||z||_4^4,
+  /// from the per-transform moment analysis (Appendix B.3 / D.2).
+  virtual double SquaredNormVariance(double z_norm2_sq, double z_norm4_pow4) const = 0;
+
+  /// Short name for tables, e.g. "sjlt-block(k=256,s=8)".
+  virtual std::string Name() const = 0;
+
+  /// Materializes S as a dense matrix by applying it to basis vectors.
+  /// Intended for tests and exact sensitivity checks on small instances.
+  DenseMatrix Materialize() const;
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_JL_TRANSFORM_H_

@@ -1,0 +1,55 @@
+#include "src/linalg/dense_matrix.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dpjl {
+
+DenseMatrix::DenseMatrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.0) {
+  DPJL_CHECK(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+std::vector<double> DenseMatrix::Apply(const std::vector<double>& x) const {
+  DPJL_CHECK(static_cast<int64_t>(x.size()) == cols_, "Apply: dimension mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    double acc = 0.0;
+    for (int64_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> DenseMatrix::ApplySparse(const SparseVector& x) const {
+  DPJL_CHECK(x.dim() == cols_, "ApplySparse: dimension mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (const SparseVector::Entry& e : x.entries()) {
+    // Column e.index scaled by e.value, accumulated into y.
+    for (int64_t r = 0; r < rows_; ++r) {
+      y[r] += data_[r * cols_ + e.index] * e.value;
+    }
+  }
+  return y;
+}
+
+double DenseMatrix::ColumnNormL1(int64_t j) const {
+  DPJL_CHECK(j >= 0 && j < cols_, "column index out of range");
+  double acc = 0.0;
+  for (int64_t r = 0; r < rows_; ++r) acc += std::fabs(data_[r * cols_ + j]);
+  return acc;
+}
+
+double DenseMatrix::ColumnNormL2(int64_t j) const {
+  DPJL_CHECK(j >= 0 && j < cols_, "column index out of range");
+  double acc = 0.0;
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double v = data_[r * cols_ + j];
+    acc += v * v;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace dpjl

@@ -1,0 +1,53 @@
+#ifndef DPJL_LINALG_DENSE_MATRIX_H_
+#define DPJL_LINALG_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/linalg/sparse_vector.h"
+
+namespace dpjl {
+
+/// Row-major dense k x d matrix.
+///
+/// Used for the i.i.d. Gaussian JL baseline (Kenthapadi et al.) and the
+/// dense `P` factor of materialized FJLTs in tests. Provides the exact
+/// per-column l1/l2 norms required by the sensitivity computation
+/// (Definition 3: Delta_p = max_j ||column_j||_p), which is the O(dk)
+/// initialization cost the paper attributes to Kenthapadi et al.
+class DenseMatrix {
+ public:
+  /// A rows x cols zero matrix.
+  DenseMatrix(int64_t rows, int64_t cols);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  double& At(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  double At(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+
+  /// y = M x for dense x in R^cols; O(rows * cols).
+  std::vector<double> Apply(const std::vector<double>& x) const;
+
+  /// y = M x for sparse x; O(rows * nnz(x)).
+  std::vector<double> ApplySparse(const SparseVector& x) const;
+
+  /// ||column_j||_1; O(rows).
+  double ColumnNormL1(int64_t j) const;
+
+  /// ||column_j||_2; O(rows).
+  double ColumnNormL2(int64_t j) const;
+
+  /// Raw row-major storage (rows * cols doubles).
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_LINALG_DENSE_MATRIX_H_

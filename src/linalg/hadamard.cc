@@ -1,0 +1,49 @@
+#include "src/linalg/hadamard.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dpjl {
+
+bool IsPowerOfTwo(int64_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+int64_t NextPowerOfTwo(int64_t n) {
+  DPJL_CHECK(n >= 1, "NextPowerOfTwo requires n >= 1");
+  int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void FwhtInPlace(std::vector<double>* x) {
+  const int64_t n = static_cast<int64_t>(x->size());
+  DPJL_CHECK(IsPowerOfTwo(n), "FWHT length must be a power of two");
+  std::vector<double>& v = *x;
+  for (int64_t len = 1; len < n; len <<= 1) {
+    for (int64_t block = 0; block < n; block += len << 1) {
+      for (int64_t i = block; i < block + len; ++i) {
+        const double a = v[i];
+        const double b = v[i + len];
+        v[i] = a + b;
+        v[i + len] = a - b;
+      }
+    }
+  }
+}
+
+void NormalizedFwhtInPlace(std::vector<double>* x) {
+  FwhtInPlace(x);
+  const double inv_sqrt = 1.0 / std::sqrt(static_cast<double>(x->size()));
+  for (double& v : *x) v *= inv_sqrt;
+}
+
+double HadamardEntry(int64_t dim, int64_t row, int64_t col) {
+  DPJL_CHECK(IsPowerOfTwo(dim), "Hadamard dimension must be a power of two");
+  DPJL_CHECK(row >= 0 && row < dim && col >= 0 && col < dim,
+             "Hadamard index out of range");
+  const int parity = __builtin_popcountll(static_cast<uint64_t>(row & col)) & 1;
+  const double sign = parity ? -1.0 : 1.0;
+  return sign / std::sqrt(static_cast<double>(dim));
+}
+
+}  // namespace dpjl

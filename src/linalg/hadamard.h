@@ -1,0 +1,36 @@
+#ifndef DPJL_LINALG_HADAMARD_H_
+#define DPJL_LINALG_HADAMARD_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dpjl {
+
+/// Fast Walsh–Hadamard Transform, the `H` factor of the FJLT (Section 5.1).
+///
+/// Convention (0-indexed, matching the paper's 1-indexed H_{f,j} =
+/// d^{-1/2} (-1)^{<f-1, j-1>}):
+///   H[i][j] = d^{-1/2} * (-1)^{popcount(i & j)}.
+/// H is orthonormal: H H^T = I.
+
+/// True iff `n` is a power of two (n >= 1).
+bool IsPowerOfTwo(int64_t n);
+
+/// Smallest power of two >= n (n >= 1).
+int64_t NextPowerOfTwo(int64_t n);
+
+/// In-place unnormalized FWHT of `x`; size must be a power of two.
+/// O(d log d). After the call, x holds sqrt(d) * H x (H normalized).
+void FwhtInPlace(std::vector<double>* x);
+
+/// In-place *normalized* Walsh–Hadamard transform: x <- H x with
+/// H H^T = I. O(d log d).
+void NormalizedFwhtInPlace(std::vector<double>* x);
+
+/// Entry of the normalized Hadamard matrix; O(1). For tests against the
+/// fast transform.
+double HadamardEntry(int64_t dim, int64_t row, int64_t col);
+
+}  // namespace dpjl
+
+#endif  // DPJL_LINALG_HADAMARD_H_

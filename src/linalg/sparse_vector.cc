@@ -1,0 +1,56 @@
+#include "src/linalg/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dpjl {
+
+SparseVector::SparseVector(int64_t dim) : dim_(dim) {
+  DPJL_CHECK(dim >= 0, "dimension must be non-negative");
+}
+
+SparseVector::SparseVector(int64_t dim, std::vector<Entry> entries) : dim_(dim) {
+  DPJL_CHECK(dim >= 0, "dimension must be non-negative");
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.index < b.index; });
+  entries_.reserve(entries.size());
+  int64_t prev = -1;
+  for (const Entry& e : entries) {
+    DPJL_CHECK(e.index >= 0 && e.index < dim, "entry index out of range");
+    DPJL_CHECK(e.index != prev, "duplicate entry index");
+    prev = e.index;
+    if (e.value != 0.0) entries_.push_back(e);
+  }
+}
+
+SparseVector SparseVector::FromDense(const std::vector<double>& dense) {
+  SparseVector out(static_cast<int64_t>(dense.size()));
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] != 0.0) {
+      out.entries_.push_back({static_cast<int64_t>(i), dense[i]});
+    }
+  }
+  return out;
+}
+
+std::vector<double> SparseVector::ToDense() const {
+  std::vector<double> dense(dim_, 0.0);
+  for (const Entry& e : entries_) dense[e.index] = e.value;
+  return dense;
+}
+
+double SparseVector::SquaredNorm() const {
+  double acc = 0.0;
+  for (const Entry& e : entries_) acc += e.value * e.value;
+  return acc;
+}
+
+double SparseVector::NormL1() const {
+  double acc = 0.0;
+  for (const Entry& e : entries_) acc += std::fabs(e.value);
+  return acc;
+}
+
+}  // namespace dpjl

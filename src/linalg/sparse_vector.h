@@ -1,0 +1,50 @@
+#ifndef DPJL_LINALG_SPARSE_VECTOR_H_
+#define DPJL_LINALG_SPARSE_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dpjl {
+
+/// Sparse vector in R^d as sorted (index, value) coordinate pairs.
+///
+/// The paper's efficiency claims (Theorem 3.5: sketch time O(s·||x||_0 + k))
+/// are only observable when the input is handed to the transform in a
+/// sparsity-aware form, which this type provides.
+class SparseVector {
+ public:
+  struct Entry {
+    int64_t index;
+    double value;
+  };
+
+  /// An all-zero vector in R^dim.
+  explicit SparseVector(int64_t dim);
+
+  /// Builds from coordinate pairs. Indices must be unique and in [0, dim);
+  /// entries are sorted internally; zero values are dropped.
+  SparseVector(int64_t dim, std::vector<Entry> entries);
+
+  /// Converts from dense, keeping non-zero coordinates.
+  static SparseVector FromDense(const std::vector<double>& dense);
+
+  /// Dense representation in R^dim.
+  std::vector<double> ToDense() const;
+
+  int64_t dim() const { return dim_; }
+  int64_t nnz() const { return static_cast<int64_t>(entries_.size()); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// ||x||_2^2 over the stored entries.
+  double SquaredNorm() const;
+  /// ||x||_1 over the stored entries.
+  double NormL1() const;
+
+ private:
+  int64_t dim_;
+  std::vector<Entry> entries_;  // sorted by index, values non-zero
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_LINALG_SPARSE_VECTOR_H_

@@ -1,0 +1,85 @@
+#include "src/linalg/vector_ops.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dpjl {
+
+double Dot(const std::vector<double>& x, const std::vector<double>& y) {
+  DPJL_CHECK(x.size() == y.size(), "Dot: size mismatch");
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double SquaredNorm(const std::vector<double>& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+double NormL2(const std::vector<double>& x) { return std::sqrt(SquaredNorm(x)); }
+
+double NormL1(const std::vector<double>& x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::fabs(v);
+  return acc;
+}
+
+double NormL4Pow4(const std::vector<double>& x) {
+  double acc = 0.0;
+  for (double v : x) {
+    const double sq = v * v;
+    acc += sq * sq;
+  }
+  return acc;
+}
+
+int64_t NormL0(const std::vector<double>& x) {
+  int64_t count = 0;
+  for (double v : x) count += (v != 0.0);
+  return count;
+}
+
+double SquaredDistance(const std::vector<double>& x, const std::vector<double>& y) {
+  DPJL_CHECK(x.size() == y.size(), "SquaredDistance: size mismatch");
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double diff = x[i] - y[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+double DistanceL1(const std::vector<double>& x, const std::vector<double>& y) {
+  DPJL_CHECK(x.size() == y.size(), "DistanceL1: size mismatch");
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += std::fabs(x[i] - y[i]);
+  return acc;
+}
+
+std::vector<double> Sub(const std::vector<double>& x, const std::vector<double>& y) {
+  DPJL_CHECK(x.size() == y.size(), "Sub: size mismatch");
+  std::vector<double> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+  return out;
+}
+
+std::vector<double> Add(const std::vector<double>& x, const std::vector<double>& y) {
+  DPJL_CHECK(x.size() == y.size(), "Add: size mismatch");
+  std::vector<double> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+  return out;
+}
+
+void Axpy(double a, const std::vector<double>& x, std::vector<double>* y) {
+  DPJL_CHECK(x.size() == y->size(), "Axpy: size mismatch");
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += a * x[i];
+}
+
+void Scale(double a, std::vector<double>* x) {
+  for (double& v : *x) v *= a;
+}
+
+}  // namespace dpjl

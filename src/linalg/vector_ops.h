@@ -1,0 +1,51 @@
+#ifndef DPJL_LINALG_VECTOR_OPS_H_
+#define DPJL_LINALG_VECTOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dpjl {
+
+/// Free functions over dense vectors (std::vector<double>). These are the
+/// only vector primitives the library needs; all take size-checked inputs
+/// and are branch-light for the benchmark hot paths.
+
+/// <x, y>. Sizes must match.
+double Dot(const std::vector<double>& x, const std::vector<double>& y);
+
+/// ||x||_2^2.
+double SquaredNorm(const std::vector<double>& x);
+
+/// ||x||_2.
+double NormL2(const std::vector<double>& x);
+
+/// ||x||_1.
+double NormL1(const std::vector<double>& x);
+
+/// ||x||_4^4 = sum x_i^4 (appears in the exact SJLT/FJLT variance formulas).
+double NormL4Pow4(const std::vector<double>& x);
+
+/// ||x||_0: number of non-zero entries.
+int64_t NormL0(const std::vector<double>& x);
+
+/// ||x - y||_2^2. Sizes must match.
+double SquaredDistance(const std::vector<double>& x, const std::vector<double>& y);
+
+/// ||x - y||_1. Sizes must match.
+double DistanceL1(const std::vector<double>& x, const std::vector<double>& y);
+
+/// x - y.
+std::vector<double> Sub(const std::vector<double>& x, const std::vector<double>& y);
+
+/// x + y.
+std::vector<double> Add(const std::vector<double>& x, const std::vector<double>& y);
+
+/// y += a * x (in place).
+void Axpy(double a, const std::vector<double>& x, std::vector<double>* y);
+
+/// x *= a (in place).
+void Scale(double a, std::vector<double>* x);
+
+}  // namespace dpjl
+
+#endif  // DPJL_LINALG_VECTOR_OPS_H_

@@ -1,0 +1,82 @@
+#include "src/random/discrete.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dpjl {
+
+namespace {
+
+// Bernoulli(exp(-gamma)) restricted to gamma in [0, 1].
+bool BernoulliExpUnit(double gamma, Rng* rng) {
+  // K counts how many of the chained Bernoulli(gamma/K) trials succeed;
+  // P[output = 1] telescopes to the alternating series of exp(-gamma).
+  int64_t k = 1;
+  while (rng->Bernoulli(gamma / static_cast<double>(k))) {
+    ++k;
+    // gamma/k shrinks to 0, so this loop terminates with probability 1 and
+    // in O(1) expected iterations; the guard below bounds the pathological
+    // tail without distorting the distribution measurably.
+    DPJL_CHECK(k < (int64_t{1} << 40), "BernoulliExpUnit failed to terminate");
+  }
+  return (k % 2) == 1;
+}
+
+// Geometric on {0, 1, 2, ...} with P[G = n] = (1 - p) p^n for p = exp(-1/t).
+// floor(t * Exponential(1)) realizes this law exactly.
+int64_t GeometricExpRate(double t, Rng* rng) {
+  return static_cast<int64_t>(std::floor(t * rng->Exponential()));
+}
+
+}  // namespace
+
+bool SampleBernoulliExp(double gamma, Rng* rng) {
+  DPJL_CHECK(gamma >= 0, "BernoulliExp requires gamma >= 0");
+  // Split exp(-gamma) = exp(-1)^floor(gamma) * exp(-frac(gamma)).
+  const double whole = std::floor(gamma);
+  for (double i = 0; i < whole; ++i) {
+    if (!BernoulliExpUnit(1.0, rng)) return false;
+  }
+  return BernoulliExpUnit(gamma - whole, rng);
+}
+
+int64_t SampleDiscreteLaplace(double t, Rng* rng) {
+  DPJL_CHECK(t > 0, "discrete Laplace scale must be positive");
+  return GeometricExpRate(t, rng) - GeometricExpRate(t, rng);
+}
+
+double DiscreteLaplaceVariance(double t) {
+  const double p = std::exp(-1.0 / t);
+  const double q = 1.0 - p;
+  return 2.0 * p / (q * q);
+}
+
+int64_t SampleDiscreteGaussian(double sigma, Rng* rng) {
+  DPJL_CHECK(sigma > 0, "discrete Gaussian sigma must be positive");
+  const double t = std::floor(sigma) + 1.0;
+  const double sigma_sq = sigma * sigma;
+  while (true) {
+    const int64_t y = SampleDiscreteLaplace(t, rng);
+    const double shift = std::fabs(static_cast<double>(y)) - sigma_sq / t;
+    const double gamma = shift * shift / (2.0 * sigma_sq);
+    if (SampleBernoulliExp(gamma, rng)) return y;
+  }
+}
+
+int64_t SampleCenteredBinomial(int64_t n, Rng* rng) {
+  DPJL_CHECK(n >= 2 && n % 2 == 0, "centered binomial needs even n >= 2");
+  int64_t ones = 0;
+  int64_t remaining = n;
+  while (remaining >= 64) {
+    ones += __builtin_popcountll(rng->NextUint64());
+    remaining -= 64;
+  }
+  if (remaining > 0) {
+    const uint64_t mask = (uint64_t{1} << remaining) - 1;
+    ones += __builtin_popcountll(rng->NextUint64() & mask);
+  }
+  return ones - n / 2;
+}
+
+}  // namespace dpjl

@@ -1,0 +1,49 @@
+#ifndef DPJL_RANDOM_DISCRETE_H_
+#define DPJL_RANDOM_DISCRETE_H_
+
+#include <cstdint>
+
+#include "src/random/rng.h"
+
+namespace dpjl {
+
+/// Exact-structure samplers for the discrete noise distributions discussed
+/// in Section 2.3.1 of the paper (Canonne, Kamath & Steinke, "The Discrete
+/// Gaussian for Differential Privacy", and the Google secure-noise report).
+///
+/// These avoid the Mironov floating-point attack on the *distribution shape*:
+/// the support is Z and tail probabilities follow the exact recurrences. The
+/// Bernoulli parameters are still evaluated in binary64; a hardened
+/// deployment would substitute rational arithmetic, which changes none of
+/// the structure exercised here.
+
+/// Samples Bernoulli(exp(-gamma)) for gamma >= 0 without computing exp()
+/// (CKS Algorithm 1; von Neumann's alternating-series trick).
+bool SampleBernoulliExp(double gamma, Rng* rng);
+
+/// Samples the discrete Laplace distribution on Z with scale `t > 0`:
+///   P[X = x] = (1 - p) / (1 + p) * p^{|x|},  p = exp(-1/t).
+/// Implemented as the difference of two i.i.d. geometric variables, which
+/// realizes the two-sided geometric law exactly. Variance = 2p / (1-p)^2,
+/// which approaches the continuous Lap(t) variance 2t^2 from below.
+int64_t SampleDiscreteLaplace(double t, Rng* rng);
+
+/// Variance of the discrete Laplace with scale `t` (closed form).
+double DiscreteLaplaceVariance(double t);
+
+/// Samples the discrete Gaussian on Z:
+///   P[X = x] ∝ exp(-x^2 / (2 sigma^2)).
+/// CKS Algorithm 3: rejection from a discrete Laplace envelope with
+/// t = floor(sigma) + 1; expected O(1) iterations. CKS prove the variance is
+/// at most sigma^2 (strictly below the continuous Gaussian).
+int64_t SampleDiscreteGaussian(double sigma, Rng* rng);
+
+/// Samples Binomial(n, 1/2) - n/2 for even n >= 2 by popcounting random
+/// words: the binomial-based approximate Gaussian of Dwork et al. / the
+/// secure-noise report, with variance exactly n/4. The distribution differs
+/// from N(0, n/4) by O(log^{1.5}(n)/sqrt(n)) in total variation.
+int64_t SampleCenteredBinomial(int64_t n, Rng* rng);
+
+}  // namespace dpjl
+
+#endif  // DPJL_RANDOM_DISCRETE_H_

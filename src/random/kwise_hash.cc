@@ -1,0 +1,46 @@
+#include "src/random/kwise_hash.h"
+
+#include "src/common/check.h"
+#include "src/random/rng.h"
+
+namespace dpjl {
+
+namespace {
+
+// (a * b) mod (2^61 - 1) using the Mersenne identity 2^61 ≡ 1.
+uint64_t MulMod(uint64_t a, uint64_t b) {
+  const __uint128_t z = static_cast<__uint128_t>(a) * b;
+  uint64_t lo = static_cast<uint64_t>(z) & KwiseHash::kPrime;
+  uint64_t hi = static_cast<uint64_t>(z >> 61);
+  uint64_t r = lo + hi;
+  if (r >= KwiseHash::kPrime) r -= KwiseHash::kPrime;
+  if (r >= KwiseHash::kPrime) r -= KwiseHash::kPrime;
+  return r;
+}
+
+uint64_t AddMod(uint64_t a, uint64_t b) {
+  uint64_t r = a + b;  // a, b < 2^61, no overflow in 64 bits
+  if (r >= KwiseHash::kPrime) r -= KwiseHash::kPrime;
+  return r;
+}
+
+}  // namespace
+
+KwiseHash::KwiseHash(int wise, uint64_t seed) {
+  DPJL_CHECK(wise >= 1, "hash family needs wise >= 1");
+  Rng rng(seed);
+  coeffs_.resize(wise);
+  for (auto& c : coeffs_) c = rng.UniformInt(kPrime);
+}
+
+uint64_t KwiseHash::Eval(uint64_t x) const {
+  const uint64_t xr = x % kPrime;
+  // Horner's rule, highest coefficient first.
+  uint64_t acc = coeffs_.back();
+  for (size_t i = coeffs_.size() - 1; i-- > 0;) {
+    acc = AddMod(MulMod(acc, xr), coeffs_[i]);
+  }
+  return acc;
+}
+
+}  // namespace dpjl

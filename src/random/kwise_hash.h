@@ -1,0 +1,48 @@
+#ifndef DPJL_RANDOM_KWISE_HASH_H_
+#define DPJL_RANDOM_KWISE_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dpjl {
+
+/// w-wise independent hash family via degree-(w-1) polynomials over the
+/// Mersenne prime field GF(2^61 - 1).
+///
+/// The Sparser JL transforms (Section 6.1) need hash functions
+/// h_r : [d] -> [k/s] and sign functions phi_r : [d] -> {-1, +1} drawn from
+/// Omega(log(1/beta))-wise independent families; a random polynomial of
+/// degree w-1 evaluated at the key is the textbook construction and is
+/// exactly w-wise independent over the field.
+class KwiseHash {
+ public:
+  /// Field modulus 2^61 - 1.
+  static constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;
+
+  /// Draws a uniformly random polynomial of degree `wise - 1` (so the family
+  /// is `wise`-wise independent). `wise` >= 1.
+  KwiseHash(int wise, uint64_t seed);
+
+  /// Evaluates the polynomial at `x`; result uniform in [0, kPrime) and
+  /// `wise`-wise independent across distinct x.
+  uint64_t Eval(uint64_t x) const;
+
+  /// Hash into [0, range) by reduction mod `range`. The statistical bias per
+  /// bucket is at most range / kPrime (< 2^-29 for range < 2^32), which is
+  /// negligible against the JL failure probability beta.
+  uint64_t EvalRange(uint64_t x, uint64_t range) const {
+    return Eval(x) % range;
+  }
+
+  /// Hash into {-1.0, +1.0} from the low bit.
+  double EvalSign(uint64_t x) const { return (Eval(x) & 1) ? 1.0 : -1.0; }
+
+  int wise() const { return static_cast<int>(coeffs_.size()); }
+
+ private:
+  std::vector<uint64_t> coeffs_;  // coeffs_[0] + coeffs_[1] x + ... mod kPrime
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_RANDOM_KWISE_HASH_H_

@@ -1,0 +1,66 @@
+#include "src/random/rng.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/random/splitmix64.h"
+
+namespace dpjl {
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  DPJL_CHECK(bound > 0, "UniformInt bound must be positive");
+  // Lemire's nearly-divisionless method: rejects only when the 128-bit
+  // product lands in the biased low fringe.
+  uint64_t x = gen_.Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = gen_.Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::Gaussian() {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller: two uniforms to two independent standard normals.
+  const double u1 = NextDoubleOpenZero();
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * Log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Laplace(double b) {
+  DPJL_CHECK(b > 0, "Laplace scale must be positive");
+  // Inverse CDF on u uniform in (-1/2, 1/2].
+  const double u = NextDoubleOpenZero() - 0.5;
+  const double mag = -b * Log(1.0 - 2.0 * std::fabs(u));
+  return u >= 0 ? mag : -mag;
+}
+
+void Rng::FillGaussian(double stddev, std::vector<double>* out) {
+  for (auto& v : *out) v = Gaussian(stddev);
+}
+
+void Rng::FillLaplace(double b, std::vector<double>* out) {
+  for (auto& v : *out) v = Laplace(b);
+}
+
+Rng Rng::Fork() { return Rng(DeriveSeed(gen_.Next(), gen_.Next())); }
+
+double Rng::Log(double v) {
+  DPJL_DCHECK(v > 0, "log of non-positive value");
+  return std::log(v);
+}
+
+}  // namespace dpjl

@@ -1,0 +1,70 @@
+#ifndef DPJL_RANDOM_RNG_H_
+#define DPJL_RANDOM_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/random/xoshiro256.h"
+
+namespace dpjl {
+
+/// Seedable random source with the continuous samplers the library needs.
+///
+/// All sampling in dpjl flows through this class so that every randomized
+/// component is reproducible from a 64-bit seed. Distinct logical streams
+/// (projection vs per-party noise) should use distinct Rng instances derived
+/// with DeriveSeed().
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed), cached_gaussian_(0.0), has_cached_(false) {}
+
+  /// Raw 64 uniform bits.
+  uint64_t NextUint64() { return gen_.Next(); }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double NextDouble() {
+    return static_cast<double>(gen_.Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; safe as a log() argument.
+  double NextDoubleOpenZero() { return 1.0 - NextDouble(); }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Standard normal via Box–Muller (caches the second deviate).
+  double Gaussian();
+
+  /// Normal with mean 0 and standard deviation `stddev`.
+  double Gaussian(double stddev) { return stddev * Gaussian(); }
+
+  /// Laplace with location 0 and scale `b` (variance 2b²), by inverse CDF.
+  double Laplace(double b);
+
+  /// Exponential with rate 1 (mean 1).
+  double Exponential() { return -Log(NextDoubleOpenZero()); }
+
+  /// Uniform sign in {-1.0, +1.0}.
+  double Rademacher() { return (gen_.Next() >> 63) ? 1.0 : -1.0; }
+
+  /// Bernoulli with success probability `p` in [0, 1].
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fills `out` with i.i.d. samples of the given distribution.
+  void FillGaussian(double stddev, std::vector<double>* out);
+  void FillLaplace(double b, std::vector<double>* out);
+
+  /// A fresh Rng whose stream is decorrelated from this one.
+  Rng Fork();
+
+ private:
+  static double Log(double v);
+
+  Xoshiro256 gen_;
+  double cached_gaussian_;
+  bool has_cached_;
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_RANDOM_RNG_H_

@@ -1,0 +1,36 @@
+#ifndef DPJL_RANDOM_SPLITMIX64_H_
+#define DPJL_RANDOM_SPLITMIX64_H_
+
+#include <cstdint>
+
+namespace dpjl {
+
+/// SplitMix64 (Steele, Lea & Flood 2014). Used only to expand a user seed
+/// into the 256-bit state of xoshiro256++ and to derive independent
+/// sub-seeds; not used as a general-purpose generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Derives a decorrelated child seed from `(seed, stream)`. Used to give
+/// each party / each component (projection vs noise) its own stream.
+inline uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  SplitMix64 sm(seed ^ (0xA0761D6478BD642FULL * (stream + 1)));
+  sm.Next();
+  return sm.Next();
+}
+
+}  // namespace dpjl
+
+#endif  // DPJL_RANDOM_SPLITMIX64_H_

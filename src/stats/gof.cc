@@ -1,0 +1,132 @@
+#include "src/stats/gof.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dpjl {
+
+namespace {
+
+// Regularized lower incomplete gamma P(a, x) by series expansion
+// (valid / fast for x < a + 1).
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Regularized upper incomplete gamma Q(a, x) by continued fraction
+// (valid / fast for x >= a + 1). Lentz's algorithm.
+double GammaQContinued(double a, double x) {
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+// Q(a, x) = 1 - P(a, x), the regularized upper incomplete gamma.
+double GammaQ(double a, double x) {
+  DPJL_CHECK(a > 0 && x >= 0, "invalid incomplete gamma arguments");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinued(a, x);
+}
+
+}  // namespace
+
+double KsStatistic(std::vector<double> samples,
+                   const std::function<double(double)>& cdf) {
+  DPJL_CHECK(!samples.empty(), "KS needs at least one sample");
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const double f = cdf(samples[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(f - lo, hi - f));
+  }
+  return d;
+}
+
+double KsPValue(double statistic, int64_t n) {
+  DPJL_CHECK(n > 0, "KS p-value needs n > 0");
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double t = statistic * (sqrt_n + 0.12 + 0.11 / sqrt_n);
+  if (t <= 0.0) return 1.0;
+  if (t < 1.18) {
+    // Small-t regime: the alternating tail series does not converge; use
+    // the Jacobi-theta form of the Kolmogorov CDF (Marsaglia et al.):
+    //   K(t) = (sqrt(2 pi)/t) sum_{j>=1} exp(-(2j-1)^2 pi^2 / (8 t^2)).
+    const double factor = std::sqrt(2.0 * M_PI) / t;
+    double cdf = 0.0;
+    for (int j = 1; j <= 20; ++j) {
+      const double odd = 2.0 * j - 1.0;
+      const double term = std::exp(-odd * odd * M_PI * M_PI / (8.0 * t * t));
+      cdf += term;
+      if (term < 1e-16) break;
+    }
+    return std::clamp(1.0 - factor * cdf, 0.0, 1.0);
+  }
+  // Large-t regime: tail series 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 t^2).
+  double p = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * t * t);
+    p += sign * term;
+    sign = -sign;
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * p, 0.0, 1.0);
+}
+
+double ChiSquareStatistic(const std::vector<int64_t>& observed,
+                          const std::vector<double>& expected) {
+  DPJL_CHECK(observed.size() == expected.size(), "chi-square size mismatch");
+  DPJL_CHECK(!observed.empty(), "chi-square needs at least one bin");
+  double stat = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    DPJL_CHECK(expected[i] > 0, "expected counts must be positive");
+    const double diff = static_cast<double>(observed[i]) - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  return stat;
+}
+
+double ChiSquarePValue(double statistic, int64_t dof) {
+  DPJL_CHECK(dof > 0, "chi-square dof must be positive");
+  return GammaQ(static_cast<double>(dof) / 2.0, statistic / 2.0);
+}
+
+double StdNormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double LaplaceCdf(double x, double b) {
+  DPJL_CHECK(b > 0, "Laplace scale must be positive");
+  if (x < 0) return 0.5 * std::exp(x / b);
+  return 1.0 - 0.5 * std::exp(-x / b);
+}
+
+}  // namespace dpjl

@@ -1,0 +1,38 @@
+#ifndef DPJL_STATS_GOF_H_
+#define DPJL_STATS_GOF_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dpjl {
+
+/// Goodness-of-fit tests used by the sampler and mechanism test suites.
+
+/// One-sample Kolmogorov–Smirnov statistic of `samples` against the
+/// continuous CDF `cdf`. `samples` need not be sorted.
+double KsStatistic(std::vector<double> samples,
+                   const std::function<double(double)>& cdf);
+
+/// Asymptotic p-value of a KS statistic at sample size n (Kolmogorov
+/// distribution tail, Marsaglia-style series).
+double KsPValue(double statistic, int64_t n);
+
+/// Pearson chi-square statistic of observed counts against expected counts.
+/// Sizes must match; expected counts must be positive.
+double ChiSquareStatistic(const std::vector<int64_t>& observed,
+                          const std::vector<double>& expected);
+
+/// Upper tail P[X >= statistic] for a chi-square distribution with `dof`
+/// degrees of freedom (regularized upper incomplete gamma).
+double ChiSquarePValue(double statistic, int64_t dof);
+
+/// Standard normal CDF (for KS tests against Gaussians).
+double StdNormalCdf(double x);
+
+/// Laplace(0, b) CDF.
+double LaplaceCdf(double x, double b);
+
+}  // namespace dpjl
+
+#endif  // DPJL_STATS_GOF_H_

@@ -1,0 +1,32 @@
+#include "src/stats/histogram.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dpjl {
+
+Histogram::Histogram(double lo, double hi, int64_t bins) : lo_(lo), hi_(hi) {
+  DPJL_CHECK(bins >= 1, "histogram needs at least one bin");
+  DPJL_CHECK(lo < hi, "histogram range must be non-empty");
+  counts_.assign(static_cast<size_t>(bins), 0);
+}
+
+int64_t Histogram::BinOf(double value) const {
+  const int64_t n = bins();
+  const int64_t b = static_cast<int64_t>((value - lo_) / (hi_ - lo_) *
+                                         static_cast<double>(n));
+  return std::clamp<int64_t>(b, 0, n - 1);
+}
+
+void Histogram::Add(double value) {
+  ++counts_[static_cast<size_t>(BinOf(value))];
+  ++total_;
+}
+
+double Histogram::BinLeft(int64_t b) const {
+  DPJL_CHECK(b >= 0 && b < bins(), "bin index out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) / static_cast<double>(bins());
+}
+
+}  // namespace dpjl

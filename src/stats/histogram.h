@@ -1,0 +1,43 @@
+#ifndef DPJL_STATS_HISTOGRAM_H_
+#define DPJL_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dpjl {
+
+/// Fixed-range, equal-width histogram. Used by the privacy auditor and the
+/// distribution tests; values outside [lo, hi) clamp into the edge bins so
+/// no observation is silently dropped.
+class Histogram {
+ public:
+  /// `bins` >= 1, `lo < hi`.
+  Histogram(double lo, double hi, int64_t bins);
+
+  /// Adds one observation.
+  void Add(double value);
+
+  /// Index of the bin `value` falls into (after clamping).
+  int64_t BinOf(double value) const;
+
+  int64_t bins() const { return static_cast<int64_t>(counts_.size()); }
+  int64_t count(int64_t bin) const { return counts_[static_cast<size_t>(bin)]; }
+  const std::vector<int64_t>& counts() const { return counts_; }
+  int64_t total() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Left edge of bin `b`.
+  double BinLeft(int64_t b) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_STATS_HISTOGRAM_H_

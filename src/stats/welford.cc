@@ -1,0 +1,83 @@
+#include "src/stats/welford.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpjl {
+
+void OnlineMoments::Add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void OnlineMoments::Merge(const OnlineMoments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta2 * delta2;
+
+  const double m4 = m4_ + other.m4_ +
+                    delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+                    6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+                    4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+  const double m3 = m3_ + other.m3_ + delta3 * na * nb * (na - nb) / (n * n) +
+                    3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  const double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+
+  mean_ = (na * mean_ + nb * other.mean_) / n;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineMoments::SampleVariance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineMoments::PopulationVariance() const {
+  return n_ < 1 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double OnlineMoments::StandardError() const {
+  return n_ < 2 ? 0.0 : std::sqrt(SampleVariance() / static_cast<double>(n_));
+}
+
+double OnlineMoments::FourthCentralMoment() const {
+  return n_ < 1 ? 0.0 : m4_ / static_cast<double>(n_);
+}
+
+double OnlineMoments::ExcessKurtosis() const {
+  const double var = PopulationVariance();
+  if (var <= 0.0) return 0.0;
+  return FourthCentralMoment() / (var * var) - 3.0;
+}
+
+}  // namespace dpjl

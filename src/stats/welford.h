@@ -1,0 +1,51 @@
+#ifndef DPJL_STATS_WELFORD_H_
+#define DPJL_STATS_WELFORD_H_
+
+#include <cstdint>
+
+namespace dpjl {
+
+/// Numerically stable online accumulation of the first four central moments
+/// (Welford / Pébay update formulas). Used by every statistical test and
+/// experiment harness in the repository: empirical means, variances and
+/// kurtoses of estimators are compared against the paper's analytic values.
+class OnlineMoments {
+ public:
+  OnlineMoments() = default;
+
+  /// Accumulates one observation.
+  void Add(double x);
+
+  /// Merges another accumulator (parallel reduction form).
+  void Merge(const OnlineMoments& other);
+
+  int64_t count() const { return n_; }
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double SampleVariance() const;
+  /// Population variance (n denominator); 0 for n < 1.
+  double PopulationVariance() const;
+  /// Standard error of the mean: sqrt(sample variance / n).
+  double StandardError() const;
+  /// Fourth central moment estimate M4/n; 0 for n < 1.
+  double FourthCentralMoment() const;
+  /// Excess kurtosis: m4 / var^2 - 3; 0 when variance is 0.
+  double ExcessKurtosis() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_STATS_WELFORD_H_

@@ -1,0 +1,152 @@
+#include "src/workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/check.h"
+#include "src/linalg/vector_ops.h"
+
+namespace dpjl {
+
+std::vector<double> DenseGaussianVector(int64_t d, double scale, Rng* rng) {
+  DPJL_CHECK(d >= 1, "dimension must be >= 1");
+  std::vector<double> x(static_cast<size_t>(d));
+  for (double& v : x) v = rng->Gaussian(scale);
+  return x;
+}
+
+std::vector<double> DenseUniformVector(int64_t d, double lo, double hi, Rng* rng) {
+  DPJL_CHECK(d >= 1, "dimension must be >= 1");
+  DPJL_CHECK(lo < hi, "lo must be < hi");
+  std::vector<double> x(static_cast<size_t>(d));
+  for (double& v : x) v = lo + (hi - lo) * rng->NextDouble();
+  return x;
+}
+
+SparseVector RandomSparseVector(int64_t d, int64_t nnz, double scale, Rng* rng) {
+  DPJL_CHECK(d >= 1 && nnz >= 0 && nnz <= d, "need 0 <= nnz <= d");
+  std::unordered_set<int64_t> positions;
+  positions.reserve(static_cast<size_t>(nnz));
+  while (static_cast<int64_t>(positions.size()) < nnz) {
+    positions.insert(static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(d))));
+  }
+  std::vector<SparseVector::Entry> entries;
+  entries.reserve(positions.size());
+  for (int64_t idx : positions) {
+    double v = 0.0;
+    while (v == 0.0) v = rng->Gaussian(scale);
+    entries.push_back({idx, v});
+  }
+  return SparseVector(d, std::move(entries));
+}
+
+std::vector<double> BinaryHistogram(int64_t d, int64_t ones, Rng* rng) {
+  DPJL_CHECK(d >= 1 && ones >= 0 && ones <= d, "need 0 <= ones <= d");
+  std::vector<double> x(static_cast<size_t>(d), 0.0);
+  int64_t placed = 0;
+  while (placed < ones) {
+    const int64_t idx =
+        static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(d)));
+    if (x[idx] == 0.0) {
+      x[idx] = 1.0;
+      ++placed;
+    }
+  }
+  return x;
+}
+
+std::vector<double> NeighboringVector(const std::vector<double>& x,
+                                      int64_t touched, Rng* rng) {
+  DPJL_CHECK(touched >= 1 && touched <= static_cast<int64_t>(x.size()),
+             "touched must lie in [1, d]");
+  std::vector<double> y = x;
+  // Split a unit of l1 mass over `touched` coordinates with random signs:
+  // ||x - y||_1 = sum of |shares| = 1 exactly.
+  std::vector<double> shares(static_cast<size_t>(touched));
+  double total = 0.0;
+  for (double& s : shares) {
+    s = rng->NextDoubleOpenZero();
+    total += s;
+  }
+  std::unordered_set<int64_t> positions;
+  while (static_cast<int64_t>(positions.size()) < touched) {
+    positions.insert(
+        static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(x.size()))));
+  }
+  auto it = positions.begin();
+  for (int64_t i = 0; i < touched; ++i, ++it) {
+    y[*it] += rng->Rademacher() * shares[static_cast<size_t>(i)] / total;
+  }
+  return y;
+}
+
+std::pair<std::vector<double>, std::vector<double>> PairAtDistance(
+    int64_t d, double distance, Rng* rng) {
+  DPJL_CHECK(distance >= 0, "distance must be non-negative");
+  std::vector<double> x = DenseGaussianVector(d, 1.0, rng);
+  std::vector<double> direction = DenseGaussianVector(d, 1.0, rng);
+  const double norm = NormL2(direction);
+  DPJL_CHECK(norm > 0, "degenerate direction vector");
+  std::vector<double> y = x;
+  Axpy(distance / norm, direction, &y);
+  return {std::move(x), std::move(y)};
+}
+
+SparseVector ZipfDocument(int64_t vocab, int64_t length, double zipf_s, Rng* rng) {
+  DPJL_CHECK(vocab >= 1 && length >= 0, "invalid document parameters");
+  DPJL_CHECK(zipf_s > 0, "zipf exponent must be positive");
+  // Inverse-CDF sampling over the (finite) Zipf rank distribution.
+  std::vector<double> cdf(static_cast<size_t>(vocab));
+  double total = 0.0;
+  for (int64_t r = 0; r < vocab; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), zipf_s);
+    cdf[r] = total;
+  }
+  std::vector<double> counts(static_cast<size_t>(vocab), 0.0);
+  for (int64_t i = 0; i < length; ++i) {
+    const double u = rng->NextDouble() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const int64_t rank = it == cdf.end()
+                             ? vocab - 1
+                             : static_cast<int64_t>(it - cdf.begin());
+    counts[rank] += 1.0;
+  }
+  return SparseVector::FromDense(counts);
+}
+
+ClusteredData MakeClusters(int64_t n, int64_t d, int64_t clusters,
+                           double center_scale, double spread, Rng* rng) {
+  DPJL_CHECK(n >= 1 && d >= 1 && clusters >= 1, "invalid cluster parameters");
+  ClusteredData data;
+  data.centers.reserve(static_cast<size_t>(clusters));
+  for (int64_t c = 0; c < clusters; ++c) {
+    data.centers.push_back(DenseGaussianVector(d, center_scale, rng));
+  }
+  data.points.reserve(static_cast<size_t>(n));
+  data.labels.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t label =
+        static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(clusters)));
+    std::vector<double> p = data.centers[static_cast<size_t>(label)];
+    for (double& v : p) v += rng->Gaussian(spread);
+    data.points.push_back(std::move(p));
+    data.labels.push_back(label);
+  }
+  return data;
+}
+
+std::vector<std::pair<int64_t, double>> UpdateStream(int64_t d, int64_t n_updates,
+                                                     Rng* rng) {
+  DPJL_CHECK(d >= 1 && n_updates >= 0, "invalid stream parameters");
+  std::vector<std::pair<int64_t, double>> stream;
+  stream.reserve(static_cast<size_t>(n_updates));
+  for (int64_t i = 0; i < n_updates; ++i) {
+    stream.emplace_back(
+        static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(d))),
+        rng->Gaussian());
+  }
+  return stream;
+}
+
+}  // namespace dpjl

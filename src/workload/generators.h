@@ -1,0 +1,66 @@
+#ifndef DPJL_WORKLOAD_GENERATORS_H_
+#define DPJL_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/linalg/sparse_vector.h"
+#include "src/random/rng.h"
+
+namespace dpjl {
+
+/// Synthetic workloads for tests, benchmarks and examples. The paper's
+/// bounds depend only on ||x - y||_2, ||x - y||_4, sparsity and dimension,
+/// so controlled generators cover the entire behavioral space the
+/// evaluation needs.
+
+/// Dense vector with i.i.d. N(0, scale^2) coordinates.
+std::vector<double> DenseGaussianVector(int64_t d, double scale, Rng* rng);
+
+/// Dense vector with i.i.d. Uniform[lo, hi) coordinates.
+std::vector<double> DenseUniformVector(int64_t d, double lo, double hi, Rng* rng);
+
+/// Sparse vector with exactly `nnz` non-zeros at distinct uniform positions,
+/// values i.i.d. N(0, scale^2) (resampled if exactly zero).
+SparseVector RandomSparseVector(int64_t d, int64_t nnz, double scale, Rng* rng);
+
+/// Binary histogram with exactly `ones` coordinates set to 1 — the
+/// attribute-level privacy workload (Definition 1's binary special case and
+/// the McGregor et al. lower-bound setting).
+std::vector<double> BinaryHistogram(int64_t d, int64_t ones, Rng* rng);
+
+/// A vector l1-adjacent to `x`: moves total l1 mass exactly 1, split across
+/// `touched` random coordinates (Definition 1 neighbors; touched >= 1).
+std::vector<double> NeighboringVector(const std::vector<double>& x,
+                                      int64_t touched, Rng* rng);
+
+/// A pair (x, y) in R^d with ||x - y||_2 exactly `distance`: x random dense
+/// Gaussian, y = x + distance * u for a uniform unit vector u.
+std::pair<std::vector<double>, std::vector<double>> PairAtDistance(
+    int64_t d, double distance, Rng* rng);
+
+/// Bag-of-words document over a vocabulary of size `vocab`: `length` word
+/// draws from a Zipf(s) rank distribution, returned as a sparse count
+/// vector. The document-comparison workload from the paper's introduction.
+SparseVector ZipfDocument(int64_t vocab, int64_t length, double zipf_s, Rng* rng);
+
+/// `n` points in R^d drawn from `clusters` Gaussian blobs with centers
+/// N(0, center_scale^2 I) and within-cluster stddev `spread`. Returns the
+/// points and their ground-truth labels.
+struct ClusteredData {
+  std::vector<std::vector<double>> points;
+  std::vector<int64_t> labels;
+  std::vector<std::vector<double>> centers;
+};
+ClusteredData MakeClusters(int64_t n, int64_t d, int64_t clusters,
+                           double center_scale, double spread, Rng* rng);
+
+/// A stream of `n_updates` coordinate updates (index, weight) with indices
+/// uniform in [0, d) and weights i.i.d. N(0, 1); the Theorem 3(4) workload.
+std::vector<std::pair<int64_t, double>> UpdateStream(int64_t d, int64_t n_updates,
+                                                     Rng* rng);
+
+}  // namespace dpjl
+
+#endif  // DPJL_WORKLOAD_GENERATORS_H_

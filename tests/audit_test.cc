@@ -1,0 +1,132 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/sketcher.h"
+#include "src/dp/audit.h"
+#include "src/dp/discrete_mechanism.h"
+#include "src/dp/snapping.h"
+#include "tests/test_util.h"
+
+namespace dpjl {
+namespace {
+
+using testing::kTestSeed;
+using testing::MakeSketcherOrDie;
+
+TEST(AuditTest, ValidatesOptions) {
+  const auto sampler = [](Rng* rng) { return rng->Gaussian(); };
+  AuditOptions bad;
+  bad.trials = 0;
+  EXPECT_FALSE(AuditEpsilon(sampler, sampler, bad, kTestSeed).ok());
+  bad = AuditOptions{};
+  bad.bins = 1;
+  EXPECT_FALSE(AuditEpsilon(sampler, sampler, bad, kTestSeed).ok());
+}
+
+TEST(AuditTest, DegenerateOutputFails) {
+  const auto constant = [](Rng*) { return 1.0; };
+  EXPECT_FALSE(AuditEpsilon(constant, constant, AuditOptions{}, kTestSeed).ok());
+}
+
+TEST(AuditTest, LaplaceMechanismRespectsEpsilon) {
+  // Scalar Laplace mechanism at sensitivity 1: the audit must not find a
+  // loss exceeding eps (plus sampling slack), and with a shift equal to
+  // the full sensitivity it should find a substantial fraction of it.
+  const double eps = 1.0;
+  const auto on_x = [&](Rng* rng) { return 0.0 + rng->Laplace(1.0 / eps); };
+  const auto on_neighbor = [&](Rng* rng) {
+    return 1.0 + rng->Laplace(1.0 / eps);
+  };
+  const AuditResult result =
+      AuditEpsilon(on_x, on_neighbor, AuditOptions{}, kTestSeed).value();
+  EXPECT_LE(result.empirical_epsilon, eps * 1.2);
+  EXPECT_GE(result.empirical_epsilon, eps * 0.4);
+  EXPECT_GT(result.bins_evaluated, 4);
+}
+
+TEST(AuditTest, DetectsMiscalibratedMechanism) {
+  // A buggy mechanism using half the required scale must audit well above
+  // its *claimed* epsilon.
+  const double claimed_eps = 0.5;
+  const auto on_x = [&](Rng* rng) {
+    return rng->Laplace(0.5 / claimed_eps);  // scale is 2x too small
+  };
+  const auto on_neighbor = [&](Rng* rng) {
+    return 1.0 + rng->Laplace(0.5 / claimed_eps);
+  };
+  const AuditResult result =
+      AuditEpsilon(on_x, on_neighbor, AuditOptions{}, kTestSeed).value();
+  EXPECT_GT(result.empirical_epsilon, claimed_eps * 1.3);
+}
+
+TEST(AuditTest, SjltSketchCoordinateWithinBudget) {
+  // Audit one coordinate of the real sketch pipeline on a worst-case
+  // basis-vector pair.
+  const double eps = 1.0;
+  SketcherConfig config;
+  config.k_override = 8;
+  config.s_override = 4;
+  config.epsilon = eps;
+  config.projection_seed = kTestSeed;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(16, config);
+  std::vector<double> x(16, 0.0);
+  std::vector<double> x_neighbor = x;
+  x_neighbor[3] = 1.0;
+
+  uint64_t counter_x = 1;
+  uint64_t counter_y = 1;
+  const auto on_x = [&](Rng* rng) {
+    return sketcher.Sketch(x, rng->NextUint64() ^ ++counter_x).values()[0];
+  };
+  const auto on_neighbor = [&](Rng* rng) {
+    return sketcher.Sketch(x_neighbor, rng->NextUint64() ^ ++counter_y)
+        .values()[0];
+  };
+  const AuditResult result =
+      AuditEpsilon(on_x, on_neighbor, AuditOptions{}, kTestSeed).value();
+  // One coordinate carries at most a 1/sqrt(s) shift of the total budget;
+  // the audit must stay safely below eps.
+  EXPECT_LE(result.empirical_epsilon, eps);
+}
+
+TEST(AuditTest, SnappingMechanismStaysNearEpsilon) {
+  const double eps = 1.0;
+  const SnappingMechanism snap = SnappingMechanism::Create(1.0, eps, 64.0).value();
+  const auto on_x = [&](Rng* rng) { return snap.Apply(0.0, rng); };
+  const auto on_neighbor = [&](Rng* rng) { return snap.Apply(1.0, rng); };
+  AuditOptions options;
+  options.trials = 80000;
+  const AuditResult result =
+      AuditEpsilon(on_x, on_neighbor, options, kTestSeed).value();
+  // Snapping guarantees a slightly degraded epsilon' = eps(1 + O(Lambda/b)).
+  EXPECT_LE(result.empirical_epsilon, eps * 1.5);
+}
+
+TEST(AuditTest, DiscreteLaplaceMechanismWithinBudget) {
+  const double eps = 1.0;
+  const int64_t k = 4;
+  const DiscreteLaplaceMechanism mech =
+      DiscreteLaplaceMechanism::Create(1.0, eps, k,
+                                       DiscreteLaplaceMechanism::DefaultResolution(1.0, k))
+          .value();
+  const auto sample = [&](double value, Rng* rng) {
+    std::vector<double> v(static_cast<size_t>(k), 0.0);
+    v[0] = value;
+    mech.Apply(&v, rng);
+    return v[0];
+  };
+  const auto on_x = [&](Rng* rng) { return sample(0.0, rng); };
+  const auto on_neighbor = [&](Rng* rng) { return sample(1.0, rng); };
+  // The fine lattice spreads mass across many bins; more trials and a
+  // higher per-bin floor keep tail-bin ratio noise below the margin.
+  AuditOptions options;
+  options.trials = 150000;
+  options.min_count = 500;
+  const AuditResult result =
+      AuditEpsilon(on_x, on_neighbor, options, kTestSeed).value();
+  EXPECT_LE(result.empirical_epsilon, eps * 1.2);
+}
+
+}  // namespace
+}  // namespace dpjl

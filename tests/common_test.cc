@@ -1,0 +1,136 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/common/table_printer.h"
+
+namespace dpjl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("epsilon must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "epsilon must be positive");
+  EXPECT_EQ(s.ToString(), "invalid_argument: epsilon must be positive");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument), "invalid_argument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "out_of_range");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+            "failed_precondition");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "not_found");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "unimplemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "data_loss");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, OkIgnoresMessage) {
+  Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::DataLoss("bad bytes");
+  EXPECT_EQ(os.str(), "data_loss: bad bytes");
+}
+
+Status FailsThenPropagates() {
+  DPJL_RETURN_IF_ERROR(Status::OutOfRange("index 9"));
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = FailsThenPropagates();
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+Result<int> HalveEven(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterEven(int v) {
+  DPJL_ASSIGN_OR_RETURN(int half, HalveEven(v));
+  return HalveEven(half);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  Result<int> ok = QuarterEven(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  Result<int> bad = QuarterEven(6);  // 6 -> 3, second halving fails
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"a-longer-name", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("a-longer-name"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+TEST(TablePrinterTest, FormattersProduceStableStrings) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(int64_t{12345}), "12345");
+  EXPECT_EQ(FmtSci(0.000123), "1.230e-04");
+  EXPECT_EQ(FmtRatio(1.5), "x1.500");
+  EXPECT_EQ(FmtBool(true), "yes");
+  EXPECT_EQ(FmtBool(false), "no");
+}
+
+}  // namespace
+}  // namespace dpjl

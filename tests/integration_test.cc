@@ -1,0 +1,191 @@
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/estimators.h"
+#include "src/core/sketch_index.h"
+#include "src/core/sketcher.h"
+#include "src/core/streaming.h"
+#include "src/dp/accountant.h"
+#include "src/linalg/vector_ops.h"
+#include "src/stats/welford.h"
+#include "src/workload/generators.h"
+#include "tests/test_util.h"
+
+namespace dpjl {
+namespace {
+
+using testing::kTestSeed;
+using testing::MakeSketcherOrDie;
+
+// End-to-end flows mirroring the distributed deployment the paper targets:
+// independent parties build sketchers from a shared public seed, exchange
+// *serialized* sketches, and an untrusted aggregator estimates distances.
+
+TEST(IntegrationTest, TwoPartyExchangeOverSerialization) {
+  const int64_t d = 256;
+  SketcherConfig config;
+  config.alpha = 0.15;
+  config.beta = 0.05;
+  config.epsilon = 2.0;
+  config.projection_seed = kTestSeed;  // public, agreed out of band
+
+  // Each party constructs its own sketcher instance (no shared state).
+  const PrivateSketcher party_a = MakeSketcherOrDie(d, config);
+  const PrivateSketcher party_b = MakeSketcherOrDie(d, config);
+
+  Rng rng(kTestSeed);
+  const auto [x, y] = PairAtDistance(d, 8.0, &rng);
+  const std::string wire_a = party_a.Sketch(x, /*noise_seed=*/101).Serialize();
+  const std::string wire_b = party_b.Sketch(y, /*noise_seed=*/202).Serialize();
+
+  // Aggregator side: decode and estimate.
+  const PrivateSketch sa = PrivateSketch::Deserialize(wire_a).value();
+  const PrivateSketch sb = PrivateSketch::Deserialize(wire_b).value();
+  const double est = EstimateSquaredDistance(sa, sb).value();
+
+  // 64 +- (JL distortion + noise): verify within the Chebyshev 99% interval.
+  const double var =
+      party_a.PredictVariance(SquaredDistance(x, y), NormL4Pow4(Sub(x, y)))
+          .total();
+  EXPECT_NEAR(est, 64.0, ChebyshevHalfWidth(var, 0.01));
+}
+
+TEST(IntegrationTest, ManyPartiesAverageToTruth) {
+  // The same pair sketched by many independent party pairs: the mean of the
+  // estimates converges on the true distance (distributed unbiasedness).
+  const int64_t d = 128;
+  SketcherConfig config;
+  config.k_override = 64;
+  config.s_override = 8;
+  config.epsilon = 1.0;
+  Rng rng(kTestSeed);
+  const auto [x, y] = PairAtDistance(d, 5.0, &rng);
+
+  OnlineMoments estimates;
+  for (int64_t round = 0; round < 800; ++round) {
+    config.projection_seed = kTestSeed + round;  // fresh public projection
+    const PrivateSketcher sketcher = MakeSketcherOrDie(d, config);
+    const PrivateSketch sa = sketcher.Sketch(x, 2 * round + 1);
+    const PrivateSketch sb = sketcher.Sketch(y, 2 * round + 2);
+    estimates.Add(EstimateSquaredDistance(sa, sb).value());
+  }
+  EXPECT_NEAR(estimates.mean(), 25.0, 5.0 * estimates.StandardError());
+}
+
+TEST(IntegrationTest, StreamingPartyInteroperatesWithBatchParty) {
+  const int64_t d = 512;
+  SketcherConfig config;
+  config.k_override = 64;
+  config.s_override = 8;
+  config.epsilon = 2.0;
+  config.projection_seed = kTestSeed;
+  const PrivateSketcher party_stream = MakeSketcherOrDie(d, config);
+  const PrivateSketcher party_batch = MakeSketcherOrDie(d, config);
+
+  Rng rng(kTestSeed);
+  StreamingSketcher stream = StreamingSketcher::Create(&party_stream, 7).value();
+  std::vector<double> x(d, 0.0);
+  for (const auto& [index, weight] : UpdateStream(d, 2000, &rng)) {
+    stream.Update(index, weight);
+    x[index] += weight;
+  }
+  const std::vector<double> y = DenseGaussianVector(d, 1.0, &rng);
+
+  const double est =
+      EstimateSquaredDistance(stream.Finalize(), party_batch.Sketch(y, 8)).value();
+  const double truth = SquaredDistance(x, y);
+  const double var =
+      party_batch.PredictVariance(truth, NormL4Pow4(Sub(x, y))).total();
+  EXPECT_NEAR(est, truth, ChebyshevHalfWidth(var, 0.01));
+}
+
+TEST(IntegrationTest, DocumentSimilaritySearch) {
+  // The introduction's document-comparison scenario: Zipf bag-of-words
+  // documents, private sketches, NN search finds the near-duplicate.
+  const int64_t vocab = 2048;
+  SketcherConfig config;
+  config.k_override = 128;
+  config.s_override = 8;
+  config.epsilon = 4.0;
+  config.projection_seed = kTestSeed;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(vocab, config);
+
+  Rng rng(kTestSeed);
+  const SparseVector base = ZipfDocument(vocab, 800, 1.1, &rng);
+  // Near-duplicate: copy with a handful of word-count edits.
+  std::vector<double> dup = base.ToDense();
+  for (int i = 0; i < 5; ++i) {
+    dup[rng.UniformInt(static_cast<uint64_t>(vocab))] += 1.0;
+  }
+
+  SketchIndex index;
+  ASSERT_TRUE(
+      index.Add("dup", sketcher.SketchSparse(SparseVector::FromDense(dup), 1))
+          .ok());
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(index
+                    .Add("other" + std::to_string(i),
+                         sketcher.SketchSparse(
+                             ZipfDocument(vocab, 800, 1.1, &rng), 100 + i))
+                    .ok());
+  }
+  const PrivateSketch query = sketcher.SketchSparse(base, 999);
+  const auto hits = index.NearestNeighbors(query, 1).value();
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, "dup");
+}
+
+TEST(IntegrationTest, RepeatedReleasesComposeInAccountant) {
+  const int64_t d = 64;
+  SketcherConfig config;
+  config.k_override = 32;
+  config.s_override = 8;
+  config.epsilon = 0.2;
+  config.projection_seed = kTestSeed;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, config);
+
+  PrivacyAccountant accountant;
+  Rng rng(kTestSeed);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    const PrivateSketch s = sketcher.Sketch(x, kTestSeed + epoch);
+    accountant.Record(PrivacyParams{s.metadata().epsilon, s.metadata().delta});
+  }
+  EXPECT_NEAR(accountant.BasicComposition().epsilon, 2.0, 1e-12);
+  const PrivacyParams adv = accountant.AdvancedComposition(1e-9).value();
+  EXPECT_GT(adv.epsilon, 0.2);
+}
+
+TEST(IntegrationTest, BinaryHistogramWorkloadEndToEnd) {
+  // The McGregor et al. setting: binary vectors, pure-DP sketches. The
+  // estimate of Hamming distance (= squared Euclidean distance for binary
+  // data) must land within the predicted additive error band.
+  const int64_t d = 512;
+  SketcherConfig config;
+  config.k_override = 128;
+  config.s_override = 8;
+  config.epsilon = 1.0;
+  config.projection_seed = kTestSeed;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, config);
+
+  Rng rng(kTestSeed);
+  const std::vector<double> x = BinaryHistogram(d, 100, &rng);
+  std::vector<double> y = x;
+  int64_t flipped = 0;
+  for (int64_t j = 0; j < d && flipped < 30; ++j) {
+    if (y[j] == 1.0) {
+      y[j] = 0.0;
+      ++flipped;
+    }
+  }
+  const double truth = SquaredDistance(x, y);  // = 30 (Hamming)
+  const double est =
+      EstimateSquaredDistance(sketcher.Sketch(x, 1), sketcher.Sketch(y, 2)).value();
+  const double var = sketcher.PredictVariance(truth, truth).total();
+  EXPECT_NEAR(est, truth, ChebyshevHalfWidth(var, 0.01));
+}
+
+}  // namespace
+}  // namespace dpjl

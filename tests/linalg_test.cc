@@ -1,0 +1,183 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/linalg/dense_matrix.h"
+#include "src/linalg/hadamard.h"
+#include "src/linalg/sparse_vector.h"
+#include "src/linalg/vector_ops.h"
+#include "src/random/rng.h"
+#include "tests/test_util.h"
+
+namespace dpjl {
+namespace {
+
+using testing::kTestSeed;
+
+TEST(VectorOpsTest, DotAndNorms) {
+  const std::vector<double> x = {1.0, -2.0, 3.0};
+  const std::vector<double> y = {4.0, 5.0, -6.0};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 4.0 - 10.0 - 18.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(x), 14.0);
+  EXPECT_DOUBLE_EQ(NormL2(x), std::sqrt(14.0));
+  EXPECT_DOUBLE_EQ(NormL1(x), 6.0);
+  EXPECT_DOUBLE_EQ(NormL4Pow4(x), 1.0 + 16.0 + 81.0);
+  EXPECT_EQ(NormL0(x), 3);
+  EXPECT_EQ(NormL0({0.0, 1.0, 0.0}), 1);
+}
+
+TEST(VectorOpsTest, Distances) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {4.0, -2.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(x, y), 9.0 + 16.0);
+  EXPECT_DOUBLE_EQ(DistanceL1(x, y), 7.0);
+}
+
+TEST(VectorOpsTest, AddSubAxpyScale) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {3.0, 5.0};
+  EXPECT_EQ(Add(x, y), (std::vector<double>{4.0, 7.0}));
+  EXPECT_EQ(Sub(y, x), (std::vector<double>{2.0, 3.0}));
+  std::vector<double> z = {1.0, 1.0};
+  Axpy(2.0, x, &z);
+  EXPECT_EQ(z, (std::vector<double>{3.0, 5.0}));
+  Scale(0.5, &z);
+  EXPECT_EQ(z, (std::vector<double>{1.5, 2.5}));
+}
+
+TEST(SparseVectorTest, FromDenseRoundTrip) {
+  const std::vector<double> dense = {0.0, 1.5, 0.0, -2.0, 0.0};
+  const SparseVector sv = SparseVector::FromDense(dense);
+  EXPECT_EQ(sv.dim(), 5);
+  EXPECT_EQ(sv.nnz(), 2);
+  EXPECT_EQ(sv.ToDense(), dense);
+}
+
+TEST(SparseVectorTest, ConstructorSortsAndDropsZeros) {
+  SparseVector sv(10, {{7, 2.0}, {1, -1.0}, {4, 0.0}});
+  EXPECT_EQ(sv.nnz(), 2);
+  EXPECT_EQ(sv.entries()[0].index, 1);
+  EXPECT_EQ(sv.entries()[1].index, 7);
+}
+
+TEST(SparseVectorTest, Norms) {
+  SparseVector sv(10, {{0, 3.0}, {5, -4.0}});
+  EXPECT_DOUBLE_EQ(sv.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(sv.NormL1(), 7.0);
+}
+
+TEST(SparseVectorTest, EmptyVector) {
+  SparseVector sv(4);
+  EXPECT_EQ(sv.nnz(), 0);
+  EXPECT_EQ(sv.ToDense(), (std::vector<double>(4, 0.0)));
+  EXPECT_DOUBLE_EQ(sv.SquaredNorm(), 0.0);
+}
+
+TEST(DenseMatrixTest, ApplyMatchesManual) {
+  DenseMatrix m(2, 3);
+  // [1 2 3; 4 5 6]
+  m.At(0, 0) = 1;
+  m.At(0, 1) = 2;
+  m.At(0, 2) = 3;
+  m.At(1, 0) = 4;
+  m.At(1, 1) = 5;
+  m.At(1, 2) = 6;
+  const std::vector<double> x = {1.0, 0.5, -1.0};
+  const std::vector<double> y = m.Apply(x);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 + 1.0 - 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0 + 2.5 - 6.0);
+}
+
+TEST(DenseMatrixTest, ApplySparseMatchesDense) {
+  Rng rng(kTestSeed);
+  DenseMatrix m(8, 16);
+  for (double& v : m.data()) v = rng.Gaussian();
+  std::vector<double> dense(16, 0.0);
+  dense[3] = 2.0;
+  dense[11] = -0.5;
+  const SparseVector sparse = SparseVector::FromDense(dense);
+  const std::vector<double> y1 = m.Apply(dense);
+  const std::vector<double> y2 = m.ApplySparse(sparse);
+  for (size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(DenseMatrixTest, ColumnNorms) {
+  DenseMatrix m(2, 2);
+  m.At(0, 0) = 3.0;
+  m.At(1, 0) = -4.0;
+  m.At(0, 1) = 1.0;
+  m.At(1, 1) = 1.0;
+  EXPECT_DOUBLE_EQ(m.ColumnNormL1(0), 7.0);
+  EXPECT_DOUBLE_EQ(m.ColumnNormL2(0), 5.0);
+  EXPECT_DOUBLE_EQ(m.ColumnNormL1(1), 2.0);
+  EXPECT_DOUBLE_EQ(m.ColumnNormL2(1), std::sqrt(2.0));
+}
+
+TEST(HadamardTest, PowerOfTwoHelpers) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(48));
+  EXPECT_EQ(NextPowerOfTwo(1), 1);
+  EXPECT_EQ(NextPowerOfTwo(5), 8);
+  EXPECT_EQ(NextPowerOfTwo(64), 64);
+  EXPECT_EQ(NextPowerOfTwo(65), 128);
+}
+
+TEST(HadamardTest, FwhtMatchesNaiveMatrix) {
+  constexpr int64_t kDim = 32;
+  Rng rng(kTestSeed);
+  std::vector<double> x(kDim);
+  for (double& v : x) v = rng.Gaussian();
+  std::vector<double> fast = x;
+  NormalizedFwhtInPlace(&fast);
+  for (int64_t i = 0; i < kDim; ++i) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < kDim; ++j) acc += HadamardEntry(kDim, i, j) * x[j];
+    EXPECT_NEAR(fast[i], acc, 1e-10) << "row " << i;
+  }
+}
+
+TEST(HadamardTest, NormalizedTransformIsIsometry) {
+  constexpr int64_t kDim = 128;
+  Rng rng(kTestSeed);
+  std::vector<double> x(kDim);
+  for (double& v : x) v = rng.Gaussian();
+  const double norm_before = SquaredNorm(x);
+  NormalizedFwhtInPlace(&x);
+  EXPECT_NEAR(SquaredNorm(x), norm_before, 1e-9 * norm_before);
+}
+
+TEST(HadamardTest, TransformIsInvolution) {
+  constexpr int64_t kDim = 64;
+  Rng rng(kTestSeed);
+  std::vector<double> x(kDim);
+  for (double& v : x) v = rng.Gaussian();
+  std::vector<double> y = x;
+  NormalizedFwhtInPlace(&y);
+  NormalizedFwhtInPlace(&y);  // H is symmetric orthonormal: H H = I
+  for (int64_t i = 0; i < kDim; ++i) EXPECT_NEAR(y[i], x[i], 1e-10);
+}
+
+TEST(HadamardTest, RowsAreOrthogonal) {
+  constexpr int64_t kDim = 16;
+  for (int64_t r1 = 0; r1 < kDim; ++r1) {
+    for (int64_t r2 = r1; r2 < kDim; ++r2) {
+      double dot = 0.0;
+      for (int64_t c = 0; c < kDim; ++c) {
+        dot += HadamardEntry(kDim, r1, c) * HadamardEntry(kDim, r2, c);
+      }
+      EXPECT_NEAR(dot, r1 == r2 ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(HadamardTest, SizeOneIsIdentity) {
+  std::vector<double> x = {3.5};
+  NormalizedFwhtInPlace(&x);
+  EXPECT_DOUBLE_EQ(x[0], 3.5);
+}
+
+}  // namespace
+}  // namespace dpjl

@@ -1,0 +1,191 @@
+// Parameterized property sweeps across the (k, s, epsilon, d) grid: the
+// invariants that must hold at every configuration, not just the defaults
+// used elsewhere in the suite.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/core/estimators.h"
+#include "src/core/sketcher.h"
+#include "src/jl/sjlt.h"
+#include "src/linalg/hadamard.h"
+#include "src/linalg/vector_ops.h"
+#include "src/stats/welford.h"
+#include "src/workload/generators.h"
+#include "tests/test_util.h"
+
+namespace dpjl {
+namespace {
+
+using testing::kTestSeed;
+using testing::MakeSketcherOrDie;
+using testing::NearRel;
+
+// ---------- SJLT variance identity across the (k, s) grid ----------
+
+class SjltGridTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(SjltGridTest, VarianceIdentityHolds) {
+  const auto [k, s] = GetParam();
+  const int64_t d = 96;
+  Rng rng(kTestSeed);
+  const std::vector<double> z = DenseGaussianVector(d, 1.0, &rng);
+  const double z2sq = SquaredNorm(z);
+  const double z4p4 = NormL4Pow4(z);
+  OnlineMoments m;
+  for (int64_t t = 0; t < 4000; ++t) {
+    auto sjlt = Sjlt::Create(d, k, s, SjltConstruction::kBlock, 8,
+                             kTestSeed + static_cast<uint64_t>(t))
+                    .value();
+    m.Add(SquaredNorm(sjlt->Apply(z)));
+  }
+  const double exact =
+      2.0 / static_cast<double>(k) * (z2sq * z2sq - z4p4);
+  EXPECT_TRUE(NearRel(m.SampleVariance(), exact, 0.12))
+      << "k=" << k << " s=" << s << " emp=" << m.SampleVariance()
+      << " exact=" << exact;
+}
+
+TEST_P(SjltGridTest, StructuralSensitivitiesAtEveryScale) {
+  const auto [k, s] = GetParam();
+  auto sjlt =
+      Sjlt::Create(96, k, s, SjltConstruction::kBlock, 8, kTestSeed).value();
+  const Sensitivities sens = sjlt->ExactSensitivities();
+  EXPECT_DOUBLE_EQ(sens.l1, std::sqrt(static_cast<double>(s)));
+  EXPECT_DOUBLE_EQ(sens.l2, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KsGrid, SjltGridTest,
+    ::testing::Values(std::make_tuple(int64_t{16}, int64_t{2}),
+                      std::make_tuple(int64_t{16}, int64_t{16}),
+                      std::make_tuple(int64_t{64}, int64_t{4}),
+                      std::make_tuple(int64_t{64}, int64_t{32}),
+                      std::make_tuple(int64_t{256}, int64_t{8})),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------- estimator centering across the epsilon grid ----------
+
+class EpsilonGridTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EpsilonGridTest, CenteringIndependentOfBudget) {
+  // The estimator must be conditionally centered at every budget: the
+  // noise magnitude changes by orders of magnitude, the centering must
+  // track it exactly.
+  const double eps = GetParam();
+  const int64_t d = 64;
+  SketcherConfig config;
+  config.k_override = 32;
+  config.s_override = 8;
+  config.epsilon = eps;
+  config.projection_seed = kTestSeed;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, config);
+  Rng rng(kTestSeed);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+  const std::vector<double> y = DenseGaussianVector(d, 1.0, &rng);
+  const double target = SquaredNorm(sketcher.transform().Apply(Sub(x, y)));
+  OnlineMoments m;
+  for (int64_t t = 0; t < 6000; ++t) {
+    m.Add(EstimateSquaredDistance(sketcher.Sketch(x, kTestSeed + 2 * t),
+                                  sketcher.Sketch(y, kTestSeed + 2 * t + 1))
+              .value());
+  }
+  EXPECT_NEAR(m.mean(), target, 5.0 * m.StandardError()) << "eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, EpsilonGridTest,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0, 1000.0),
+                         [](const auto& info) {
+                           const double eps = info.param;
+                           if (eps < 0.1) return std::string("tiny");
+                           if (eps < 1.0) return std::string("small");
+                           if (eps < 10.0) return std::string("unit");
+                           if (eps < 1000.0) return std::string("large");
+                           return std::string("huge");
+                         });
+
+// ---------- FWHT involution across sizes ----------
+
+class FwhtSizeTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(FwhtSizeTest, InvolutionAndIsometry) {
+  const int64_t n = GetParam();
+  Rng rng(kTestSeed + static_cast<uint64_t>(n));
+  std::vector<double> x(static_cast<size_t>(n));
+  for (double& v : x) v = rng.Gaussian();
+  const double norm = SquaredNorm(x);
+  std::vector<double> y = x;
+  NormalizedFwhtInPlace(&y);
+  EXPECT_TRUE(NearRel(SquaredNorm(y), norm, 1e-9));
+  NormalizedFwhtInPlace(&y);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i], x[i], 1e-9 * std::max(1.0, std::fabs(x[i])));
+  }
+}
+
+TEST_P(FwhtSizeTest, LinearityHolds) {
+  const int64_t n = GetParam();
+  Rng rng(kTestSeed + 1);
+  std::vector<double> a(static_cast<size_t>(n));
+  std::vector<double> b(static_cast<size_t>(n));
+  for (double& v : a) v = rng.Gaussian();
+  for (double& v : b) v = rng.Gaussian();
+  // H(2a + 3b) == 2 Ha + 3 Hb.
+  std::vector<double> combo(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) combo[i] = 2.0 * a[i] + 3.0 * b[i];
+  NormalizedFwhtInPlace(&combo);
+  NormalizedFwhtInPlace(&a);
+  NormalizedFwhtInPlace(&b);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(combo[i], 2.0 * a[i] + 3.0 * b[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FwhtSizeTest,
+                         ::testing::Values(int64_t{1}, int64_t{2}, int64_t{8},
+                                           int64_t{256}, int64_t{4096}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+// ---------- privacy-loss bound across the dimension grid ----------
+
+class DimensionGridTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DimensionGridTest, LaplaceLossBoundedAtEveryDimension) {
+  const int64_t d = GetParam();
+  const double eps = 1.0;
+  SketcherConfig config;
+  config.k_override = 32;
+  config.s_override = 8;
+  config.epsilon = eps;
+  config.projection_seed = kTestSeed + static_cast<uint64_t>(d);
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, config);
+  const double b = sketcher.mechanism().distribution().scale();
+  Rng rng(kTestSeed);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+    const std::vector<double> xn =
+        NeighboringVector(x, 1 + trial % std::min<int64_t>(d, 5), &rng);
+    const double loss =
+        NormL1(Sub(sketcher.transform().Apply(x), sketcher.transform().Apply(xn))) /
+        b;
+    EXPECT_LE(loss, eps * (1.0 + 1e-9)) << "d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, DimensionGridTest,
+                         ::testing::Values(int64_t{1}, int64_t{2}, int64_t{33},
+                                           int64_t{1024}, int64_t{10007}),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace dpjl

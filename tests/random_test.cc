@@ -1,0 +1,315 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/dp/noise_distribution.h"
+#include "src/random/discrete.h"
+#include "src/random/kwise_hash.h"
+#include "src/random/rng.h"
+#include "src/random/splitmix64.h"
+#include "src/stats/gof.h"
+#include "src/stats/welford.h"
+#include "tests/test_util.h"
+
+namespace dpjl {
+namespace {
+
+using testing::kTestSeed;
+using testing::NearRel;
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(kTestSeed);
+  Rng b(kTestSeed);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(kTestSeed);
+  Rng b(kTestSeed + 1);
+  int agree = 0;
+  for (int i = 0; i < 64; ++i) {
+    agree += (a.NextUint64() == b.NextUint64());
+  }
+  EXPECT_LT(agree, 2);
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnit) {
+  Rng rng(kTestSeed);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleOpenZeroNeverZero) {
+  Rng rng(kTestSeed);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.NextDoubleOpenZero(), 0.0);
+    EXPECT_LE(rng.NextDoubleOpenZero(), 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(kTestSeed);
+  constexpr uint64_t kBound = 10;
+  constexpr int64_t kTrials = 100000;
+  std::vector<int64_t> counts(kBound, 0);
+  for (int64_t i = 0; i < kTrials; ++i) counts[rng.UniformInt(kBound)]++;
+  std::vector<double> expected(kBound, static_cast<double>(kTrials) / kBound);
+  const double stat = ChiSquareStatistic(counts, expected);
+  EXPECT_GT(ChiSquarePValue(stat, kBound - 1), 1e-4);
+}
+
+TEST(RngTest, UniformIntBoundOne) {
+  Rng rng(kTestSeed);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(kTestSeed);
+  OnlineMoments m;
+  for (int i = 0; i < 200000; ++i) m.Add(rng.Gaussian());
+  EXPECT_NEAR(m.mean(), 0.0, 0.01);
+  EXPECT_NEAR(m.SampleVariance(), 1.0, 0.02);
+  EXPECT_NEAR(m.ExcessKurtosis(), 0.0, 0.1);
+}
+
+TEST(RngTest, GaussianPassesKs) {
+  Rng rng(kTestSeed);
+  std::vector<double> samples(20000);
+  for (double& v : samples) v = rng.Gaussian();
+  const double d = KsStatistic(samples, [](double x) { return StdNormalCdf(x); });
+  EXPECT_GT(KsPValue(d, static_cast<int64_t>(samples.size())), 1e-4);
+}
+
+TEST(RngTest, LaplaceMomentsMatch) {
+  Rng rng(kTestSeed);
+  const double b = 1.7;
+  OnlineMoments m;
+  for (int i = 0; i < 200000; ++i) m.Add(rng.Laplace(b));
+  EXPECT_NEAR(m.mean(), 0.0, 0.03);
+  // Var = 2 b^2; excess kurtosis = 3.
+  EXPECT_TRUE(NearRel(m.SampleVariance(), 2.0 * b * b, 0.03));
+  EXPECT_NEAR(m.ExcessKurtosis(), 3.0, 0.35);
+}
+
+TEST(RngTest, LaplacePassesKs) {
+  Rng rng(kTestSeed);
+  const double b = 0.8;
+  std::vector<double> samples(20000);
+  for (double& v : samples) v = rng.Laplace(b);
+  const double d = KsStatistic(samples, [b](double x) { return LaplaceCdf(x, b); });
+  EXPECT_GT(KsPValue(d, static_cast<int64_t>(samples.size())), 1e-4);
+}
+
+TEST(RngTest, ExponentialMeanIsOne) {
+  Rng rng(kTestSeed);
+  OnlineMoments m;
+  for (int i = 0; i < 100000; ++i) m.Add(rng.Exponential());
+  EXPECT_TRUE(NearRel(m.mean(), 1.0, 0.02));
+  EXPECT_TRUE(NearRel(m.SampleVariance(), 1.0, 0.05));
+}
+
+TEST(RngTest, RademacherIsBalanced) {
+  Rng rng(kTestSeed);
+  int64_t plus = 0;
+  constexpr int64_t kTrials = 100000;
+  for (int64_t i = 0; i < kTrials; ++i) plus += (rng.Rademacher() > 0);
+  EXPECT_NEAR(static_cast<double>(plus) / kTrials, 0.5, 0.01);
+}
+
+TEST(RngTest, FillHelpersMatchScalarDraws) {
+  Rng a(kTestSeed);
+  Rng b(kTestSeed);
+  std::vector<double> filled(64);
+  a.FillGaussian(2.0, &filled);
+  for (double v : filled) EXPECT_EQ(v, b.Gaussian(2.0));
+  a.FillLaplace(1.5, &filled);
+  for (double v : filled) EXPECT_EQ(v, b.Laplace(1.5));
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(kTestSeed);
+  Rng b = a.Fork();
+  int agree = 0;
+  for (int i = 0; i < 64; ++i) agree += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(agree, 2);
+}
+
+TEST(SplitMixTest, DeriveSeedStreamsDiffer) {
+  const uint64_t s1 = DeriveSeed(kTestSeed, 0);
+  const uint64_t s2 = DeriveSeed(kTestSeed, 1);
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(s1, DeriveSeed(kTestSeed, 0));
+}
+
+// --- Discrete samplers (Section 2.3.1 substrates) ---
+
+TEST(DiscreteTest, BernoulliExpMatchesExp) {
+  Rng rng(kTestSeed);
+  for (double gamma : {0.0, 0.1, 0.5, 1.0, 1.7, 3.0}) {
+    int64_t ones = 0;
+    constexpr int64_t kTrials = 50000;
+    for (int64_t i = 0; i < kTrials; ++i) {
+      ones += SampleBernoulliExp(gamma, &rng);
+    }
+    const double p_hat = static_cast<double>(ones) / kTrials;
+    EXPECT_NEAR(p_hat, std::exp(-gamma), 0.01) << "gamma=" << gamma;
+  }
+}
+
+TEST(DiscreteTest, DiscreteLaplaceMomentsMatchClosedForm) {
+  Rng rng(kTestSeed);
+  for (double t : {0.5, 1.0, 3.0, 10.0}) {
+    OnlineMoments m;
+    for (int i = 0; i < 100000; ++i) {
+      m.Add(static_cast<double>(SampleDiscreteLaplace(t, &rng)));
+    }
+    EXPECT_NEAR(m.mean(), 0.0, 0.1 * t) << "t=" << t;
+    EXPECT_TRUE(NearRel(m.SampleVariance(), DiscreteLaplaceVariance(t), 0.05))
+        << "t=" << t << " var=" << m.SampleVariance()
+        << " want=" << DiscreteLaplaceVariance(t);
+  }
+}
+
+TEST(DiscreteTest, DiscreteLaplaceVarianceApproachesContinuous) {
+  // Var -> 2 t^2 from below as t grows.
+  for (double t : {5.0, 20.0, 100.0}) {
+    const double v = DiscreteLaplaceVariance(t);
+    EXPECT_LT(v, 2.0 * t * t);
+    EXPECT_GT(v, 2.0 * t * t * 0.9);
+  }
+}
+
+TEST(DiscreteTest, DiscreteLaplacePmfRatioIsExpMinusOneOverT) {
+  // P[X = x+1] / P[X = x] = e^{-1/t} for x >= 0: checked via bin counts.
+  Rng rng(kTestSeed);
+  const double t = 2.0;
+  std::vector<int64_t> counts(8, 0);
+  constexpr int64_t kTrials = 400000;
+  for (int64_t i = 0; i < kTrials; ++i) {
+    const int64_t x = SampleDiscreteLaplace(t, &rng);
+    if (x >= 0 && x < static_cast<int64_t>(counts.size())) counts[x]++;
+  }
+  const double want = std::exp(-1.0 / t);
+  for (size_t x = 0; x + 1 < counts.size(); ++x) {
+    const double ratio =
+        static_cast<double>(counts[x + 1]) / static_cast<double>(counts[x]);
+    EXPECT_NEAR(ratio, want, 0.05) << "x=" << x;
+  }
+}
+
+TEST(DiscreteTest, DiscreteGaussianVarianceAtMostSigmaSq) {
+  Rng rng(kTestSeed);
+  for (double sigma : {0.7, 1.0, 2.5, 8.0}) {
+    OnlineMoments m;
+    for (int i = 0; i < 60000; ++i) {
+      m.Add(static_cast<double>(SampleDiscreteGaussian(sigma, &rng)));
+    }
+    EXPECT_NEAR(m.mean(), 0.0, 0.05 * sigma + 0.02) << "sigma=" << sigma;
+    // CKS: Var[discrete gaussian] <= sigma^2; allow MC slack upward.
+    EXPECT_LT(m.SampleVariance(), sigma * sigma * 1.05) << "sigma=" << sigma;
+    // And it should not be wildly smaller either (within 15% for sigma >= 1).
+    if (sigma >= 1.0) {
+      EXPECT_GT(m.SampleVariance(), sigma * sigma * 0.85) << "sigma=" << sigma;
+    }
+  }
+}
+
+TEST(DiscreteTest, DiscreteGaussianMatchesAnalyticMoments) {
+  Rng rng(kTestSeed);
+  const double sigma = 3.0;
+  const NoiseDistribution dist = NoiseDistribution::DiscreteGaussian(sigma);
+  OnlineMoments m;
+  for (int i = 0; i < 120000; ++i) {
+    m.Add(static_cast<double>(SampleDiscreteGaussian(sigma, &rng)));
+  }
+  EXPECT_TRUE(NearRel(m.SampleVariance(), dist.SecondMoment(), 0.03));
+  EXPECT_TRUE(NearRel(m.FourthCentralMoment(), dist.FourthMoment(), 0.06));
+}
+
+TEST(DiscreteTest, CenteredBinomialMomentsMatch) {
+  Rng rng(kTestSeed);
+  for (int64_t n : {2, 64, 130, 1024}) {
+    OnlineMoments m;
+    for (int i = 0; i < 50000; ++i) {
+      m.Add(static_cast<double>(SampleCenteredBinomial(n, &rng)));
+    }
+    EXPECT_NEAR(m.mean(), 0.0, 0.05 * std::sqrt(static_cast<double>(n)));
+    EXPECT_TRUE(NearRel(m.SampleVariance(), static_cast<double>(n) / 4.0, 0.05))
+        << "n=" << n;
+  }
+}
+
+// --- k-wise independent hashing ---
+
+TEST(KwiseHashTest, DeterministicPerSeed) {
+  KwiseHash h1(4, kTestSeed);
+  KwiseHash h2(4, kTestSeed);
+  for (uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h1.Eval(x), h2.Eval(x));
+}
+
+TEST(KwiseHashTest, OutputsBelowPrime) {
+  KwiseHash h(8, kTestSeed);
+  for (uint64_t x = 0; x < 1000; ++x) EXPECT_LT(h.Eval(x), KwiseHash::kPrime);
+}
+
+TEST(KwiseHashTest, RangeOutputsUniform) {
+  KwiseHash h(8, kTestSeed + 3);
+  constexpr uint64_t kRange = 16;
+  constexpr int64_t kKeys = 160000;
+  std::vector<int64_t> counts(kRange, 0);
+  for (int64_t x = 0; x < kKeys; ++x) {
+    counts[h.EvalRange(static_cast<uint64_t>(x), kRange)]++;
+  }
+  std::vector<double> expected(kRange, static_cast<double>(kKeys) / kRange);
+  const double stat = ChiSquareStatistic(counts, expected);
+  EXPECT_GT(ChiSquarePValue(stat, kRange - 1), 1e-4);
+}
+
+TEST(KwiseHashTest, SignsBalanced) {
+  KwiseHash h(8, kTestSeed + 4);
+  double sum = 0.0;
+  constexpr int64_t kKeys = 100000;
+  for (int64_t x = 0; x < kKeys; ++x) sum += h.EvalSign(static_cast<uint64_t>(x));
+  EXPECT_NEAR(sum / kKeys, 0.0, 0.02);
+}
+
+TEST(KwiseHashTest, PairwiseIndependenceOfSigns) {
+  // For w >= 2, sign(x) * sign(y) should be balanced across key pairs.
+  KwiseHash h(8, kTestSeed + 5);
+  double sum = 0.0;
+  constexpr int64_t kPairs = 50000;
+  for (int64_t x = 0; x < kPairs; ++x) {
+    sum += h.EvalSign(static_cast<uint64_t>(x)) *
+           h.EvalSign(static_cast<uint64_t>(x + kPairs));
+  }
+  EXPECT_NEAR(sum / kPairs, 0.0, 0.02);
+}
+
+TEST(KwiseHashTest, FourWiseSignProductBalanced) {
+  // Degree >= 4 family: the product of four distinct-key signs is unbiased.
+  KwiseHash h(8, kTestSeed + 6);
+  double sum = 0.0;
+  constexpr int64_t kQuads = 50000;
+  for (int64_t x = 0; x < kQuads; ++x) {
+    sum += h.EvalSign(static_cast<uint64_t>(4 * x)) *
+           h.EvalSign(static_cast<uint64_t>(4 * x + 1)) *
+           h.EvalSign(static_cast<uint64_t>(4 * x + 2)) *
+           h.EvalSign(static_cast<uint64_t>(4 * x + 3));
+  }
+  EXPECT_NEAR(sum / kQuads, 0.0, 0.02);
+}
+
+TEST(KwiseHashTest, WiseOneIsConstant) {
+  KwiseHash h(1, kTestSeed);
+  const uint64_t v = h.Eval(0);
+  for (uint64_t x = 1; x < 50; ++x) EXPECT_EQ(h.Eval(x), v);
+}
+
+}  // namespace
+}  // namespace dpjl

@@ -1,0 +1,131 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/dp/accountant.h"
+#include "src/dp/renyi.h"
+#include "tests/test_util.h"
+
+namespace dpjl {
+namespace {
+
+using testing::NearRel;
+
+TEST(RenyiTest, GaussianRdpClosedForm) {
+  // (order, order * Delta^2 / (2 sigma^2)).
+  EXPECT_DOUBLE_EQ(GaussianRdp(2.0, 1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(GaussianRdp(4.0, 2.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(GaussianRdp(3.0, 1.0, 2.0), 6.0);
+}
+
+TEST(RenyiTest, LaplaceRdpApproachesPureEpsilonAtHighOrder) {
+  const double b = 2.0;
+  const double delta1 = 1.0;
+  const double pure_eps = delta1 / b;  // Laplace mechanism's pure-DP epsilon
+  const double rdp_high = LaplaceRdp(512.0, b, delta1);
+  EXPECT_LT(rdp_high, pure_eps);
+  EXPECT_GT(rdp_high, pure_eps * 0.9);
+}
+
+TEST(RenyiTest, LaplaceRdpIsMonotoneInOrder) {
+  const double b = 1.5;
+  double prev = 0.0;
+  for (double order : {1.5, 2.0, 4.0, 8.0, 32.0}) {
+    const double cur = LaplaceRdp(order, b, 1.0);
+    EXPECT_GT(cur, prev) << "order " << order;
+    prev = cur;
+  }
+}
+
+TEST(RenyiTest, LaplaceRdpBelowPureEpsilonEverywhere) {
+  // RDP of any pure eps-DP mechanism is at most eps at every order.
+  for (double t : {0.25, 1.0, 3.0}) {
+    for (double order : {1.5, 2.0, 10.0, 64.0}) {
+      EXPECT_LE(LaplaceRdp(order, 1.0 / t, 1.0), t * (1.0 + 1e-12))
+          << "t=" << t << " order=" << order;
+    }
+  }
+}
+
+TEST(RenyiTest, SingleGaussianConversionMatchesClassicShape) {
+  // One Gaussian release with sigma from the classic calibration at
+  // (eps0, delta) should convert back to roughly eps0 at the same delta
+  // (RDP conversion is within a small constant of the classic analysis).
+  const double eps0 = 1.0;
+  const double delta = 1e-6;
+  const double sigma = std::sqrt(2.0 * std::log(1.25 / delta)) / eps0;
+  RenyiAccountant acc;
+  acc.RecordGaussian(sigma, 1.0);
+  const PrivacyParams converted = acc.ToApproxDp(delta).value();
+  EXPECT_GT(converted.epsilon, 0.3 * eps0);
+  EXPECT_LT(converted.epsilon, 1.3 * eps0);
+}
+
+TEST(RenyiTest, CompositionBeatsAdvancedCompositionForGaussians) {
+  const double sigma = 10.0;
+  const double delta = 1e-6;
+  const int64_t t = 200;
+
+  RenyiAccountant rdp;
+  for (int64_t i = 0; i < t; ++i) rdp.RecordGaussian(sigma, 1.0);
+  const double rdp_eps = rdp.ToApproxDp(delta).value().epsilon;
+
+  // Advanced composition on the per-release (eps_i, delta_i) pairs with the
+  // same total delta budget split in half.
+  const double per_release_eps =
+      std::sqrt(2.0 * std::log(1.25 / (delta / (2.0 * t)))) / sigma;
+  const PrivacyParams adv = AdvancedCompositionBound(
+                                PrivacyParams{per_release_eps, delta / (2.0 * t)},
+                                t, delta / 2.0)
+                                .value();
+  EXPECT_LT(rdp_eps, adv.epsilon);
+}
+
+TEST(RenyiTest, PureRecordsAddUp) {
+  RenyiAccountant acc;
+  acc.RecordPure(0.1);
+  acc.RecordPure(0.2);
+  EXPECT_EQ(acc.num_releases(), 2);
+  // At any order, accumulated RDP is 0.3; conversion adds the delta term.
+  const PrivacyParams p = acc.ToApproxDp(1e-9).value();
+  EXPECT_GT(p.epsilon, 0.3);
+}
+
+TEST(RenyiTest, ToApproxDpValidates) {
+  RenyiAccountant acc;
+  EXPECT_FALSE(acc.ToApproxDp(1e-6).ok());  // nothing recorded
+  acc.RecordPure(1.0);
+  EXPECT_FALSE(acc.ToApproxDp(0.0).ok());
+  EXPECT_FALSE(acc.ToApproxDp(1.0).ok());
+  EXPECT_TRUE(acc.ToApproxDp(1e-6).ok());
+}
+
+TEST(RenyiTest, WithOrdersValidates) {
+  EXPECT_FALSE(RenyiAccountant::WithOrders({}).ok());
+  EXPECT_FALSE(RenyiAccountant::WithOrders({1.0}).ok());
+  EXPECT_FALSE(RenyiAccountant::WithOrders({2.0, 0.5}).ok());
+  EXPECT_TRUE(RenyiAccountant::WithOrders({2.0, 8.0}).ok());
+}
+
+TEST(RenyiTest, MixedMechanismComposition) {
+  RenyiAccountant acc;
+  acc.RecordGaussian(5.0, 1.0);
+  acc.RecordLaplace(4.0, 1.0);
+  acc.RecordPure(0.05);
+  EXPECT_EQ(acc.num_releases(), 3);
+  const PrivacyParams p = acc.ToApproxDp(1e-8).value();
+  EXPECT_GT(p.epsilon, 0.0);
+  // Adding a release can only increase the budget.
+  acc.RecordGaussian(5.0, 1.0);
+  EXPECT_GT(acc.ToApproxDp(1e-8).value().epsilon, p.epsilon);
+}
+
+TEST(RenyiTest, TighterDeltaCostsMoreEpsilon) {
+  RenyiAccountant acc;
+  for (int i = 0; i < 10; ++i) acc.RecordGaussian(8.0, 1.0);
+  EXPECT_GT(acc.ToApproxDp(1e-12).value().epsilon,
+            acc.ToApproxDp(1e-4).value().epsilon);
+}
+
+}  // namespace
+}  // namespace dpjl

@@ -1,0 +1,181 @@
+// Failure-injection and abuse tests: corrupted wire bytes, contract
+// violations (which must abort via DPJL_CHECK, not corrupt privacy
+// bookkeeping), and boundary parameters.
+
+#include <cmath>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "src/common/result.h"
+#include "src/linalg/vector_ops.h"
+#include "src/core/estimators.h"
+#include "src/core/sketcher.h"
+#include "src/core/streaming.h"
+#include "src/jl/sjlt.h"
+#include "src/linalg/sparse_vector.h"
+#include "src/random/rng.h"
+#include "src/workload/generators.h"
+#include "tests/test_util.h"
+
+namespace dpjl {
+namespace {
+
+using testing::kTestSeed;
+using testing::MakeSketcherOrDie;
+
+SketcherConfig Base() {
+  SketcherConfig c;
+  c.k_override = 32;
+  c.s_override = 8;
+  c.epsilon = 1.0;
+  c.projection_seed = kTestSeed;
+  return c;
+}
+
+// ---------- serialization fuzzing ----------
+
+TEST(RobustnessTest, DeserializeSurvivesRandomTruncation) {
+  const PrivateSketcher sketcher = MakeSketcherOrDie(64, Base());
+  Rng rng(kTestSeed);
+  const std::string bytes =
+      sketcher.Sketch(DenseGaussianVector(64, 1.0, &rng), 1).Serialize();
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t cut = rng.UniformInt(bytes.size());
+    // Must return an error or (never) a valid sketch, and must not crash.
+    const auto result = PrivateSketch::Deserialize(bytes.substr(0, cut));
+    EXPECT_FALSE(result.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(RobustnessTest, DeserializeSurvivesBitFlips) {
+  const PrivateSketcher sketcher = MakeSketcherOrDie(64, Base());
+  Rng rng(kTestSeed);
+  const std::string bytes =
+      sketcher.Sketch(DenseGaussianVector(64, 1.0, &rng), 1).Serialize();
+  int64_t decoded_ok = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string corrupted = bytes;
+    const size_t pos = rng.UniformInt(corrupted.size());
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^
+                                       (1 << rng.UniformInt(8)));
+    const auto result = PrivateSketch::Deserialize(corrupted);
+    // Flips in the float payload decode "successfully" (they are valid
+    // doubles); flips in the header/magic/counts must be rejected. Either
+    // way: no crash, no CHECK failure.
+    decoded_ok += result.ok();
+  }
+  EXPECT_GT(decoded_ok, 0);   // payload flips decode
+  EXPECT_LT(decoded_ok, 500);  // header flips are caught
+}
+
+TEST(RobustnessTest, DeserializeEmptyAndGarbage) {
+  EXPECT_FALSE(PrivateSketch::Deserialize("").ok());
+  EXPECT_FALSE(PrivateSketch::Deserialize("short").ok());
+  EXPECT_FALSE(PrivateSketch::Deserialize(std::string(1000, '\xff')).ok());
+  EXPECT_FALSE(PrivateSketch::Deserialize(std::string(1000, '\0')).ok());
+}
+
+TEST(RobustnessTest, DeserializeRejectsNegativeCount) {
+  // Craft a buffer whose count field is negative by flipping the count's
+  // high byte in a valid serialization.
+  const PrivateSketcher sketcher = MakeSketcherOrDie(64, Base());
+  Rng rng(kTestSeed);
+  std::string bytes =
+      sketcher.Sketch(DenseGaussianVector(64, 1.0, &rng), 1).Serialize();
+  // Header layout: magic(8) + i32 + 3*i64 + u64 + 2*i32 + 4*f64 + i64 count.
+  const size_t count_offset = 8 + 4 + 3 * 8 + 8 + 2 * 4 + 4 * 8;
+  bytes[count_offset + 7] = static_cast<char>(0x80);
+  EXPECT_FALSE(PrivateSketch::Deserialize(bytes).ok());
+}
+
+// ---------- contract violations abort (death tests) ----------
+
+TEST(RobustnessDeathTest, ResultValueOnErrorAborts) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_DEATH((void)r.value(), "Result::value");
+}
+
+TEST(RobustnessDeathTest, SketchDimensionMismatchAborts) {
+  const PrivateSketcher sketcher = MakeSketcherOrDie(64, Base());
+  const std::vector<double> wrong(63, 0.0);
+  EXPECT_DEATH((void)sketcher.Sketch(wrong, 1), "dimension mismatch");
+}
+
+TEST(RobustnessDeathTest, StreamingIndexOutOfRangeAborts) {
+  const PrivateSketcher sketcher = MakeSketcherOrDie(64, Base());
+  StreamingSketcher stream = StreamingSketcher::Create(&sketcher, 1).value();
+  EXPECT_DEATH(stream.Update(64, 1.0), "out of range");
+}
+
+TEST(RobustnessDeathTest, SparseVectorDuplicateIndexAborts) {
+  EXPECT_DEATH(SparseVector(8, {{3, 1.0}, {3, 2.0}}), "duplicate");
+}
+
+TEST(RobustnessDeathTest, MismatchedVectorOpsAbort) {
+  const std::vector<double> a(3, 1.0);
+  const std::vector<double> b(4, 1.0);
+  EXPECT_DEATH((void)Dot(a, b), "size mismatch");
+}
+
+// ---------- boundary parameters ----------
+
+TEST(RobustnessTest, DimensionOneWorks) {
+  SketcherConfig config = Base();
+  config.k_override = 8;
+  config.s_override = 2;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(1, config);
+  const PrivateSketch a = sketcher.Sketch({3.0}, 1);
+  const PrivateSketch b = sketcher.Sketch({5.0}, 2);
+  ASSERT_TRUE(EstimateSquaredDistance(a, b).ok());
+}
+
+TEST(RobustnessTest, SketchDimensionOneWorks) {
+  SketcherConfig config = Base();
+  config.k_override = 1;
+  config.s_override = 1;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(16, config);
+  EXPECT_EQ(sketcher.output_dim(), 1);
+  Rng rng(kTestSeed);
+  const PrivateSketch a = sketcher.Sketch(DenseGaussianVector(16, 1.0, &rng), 1);
+  EXPECT_EQ(a.values().size(), 1u);
+}
+
+TEST(RobustnessTest, ZeroVectorSketches) {
+  const PrivateSketcher sketcher = MakeSketcherOrDie(64, Base());
+  const std::vector<double> zero(64, 0.0);
+  const PrivateSketch a = sketcher.Sketch(zero, 1);
+  const PrivateSketch b = sketcher.Sketch(zero, 2);
+  // Estimate of 0 distance: noisy but finite and roughly centered.
+  const double est = EstimateSquaredDistance(a, b).value();
+  EXPECT_TRUE(std::isfinite(est));
+}
+
+TEST(RobustnessTest, ExtremePrivacyBudgets) {
+  SketcherConfig config = Base();
+  config.epsilon = 1e-3;  // drowning noise — must still be well-formed
+  const PrivateSketcher strict = MakeSketcherOrDie(64, config);
+  Rng rng(kTestSeed);
+  const std::vector<double> x = DenseGaussianVector(64, 1.0, &rng);
+  EXPECT_TRUE(std::isfinite(EstimateSquaredNorm(strict.Sketch(x, 1))));
+
+  config.epsilon = 1e6;  // almost no noise
+  const PrivateSketcher loose = MakeSketcherOrDie(64, config);
+  const double est = EstimateSquaredNorm(loose.Sketch(x, 1));
+  // With negligible noise the estimate is the JL value ||Sx||^2-ish,
+  // within a wide band of the truth.
+  EXPECT_GT(est, 0.1 * SquaredNorm(x));
+  EXPECT_LT(est, 10.0 * SquaredNorm(x));
+}
+
+TEST(RobustnessTest, LargeWeightStreamUpdates) {
+  const PrivateSketcher sketcher = MakeSketcherOrDie(64, Base());
+  StreamingSketcher stream = StreamingSketcher::Create(&sketcher, 3).value();
+  stream.Update(0, 1e12);
+  stream.Update(0, -1e12);
+  stream.Update(1, 1e-12);
+  for (double v : stream.accumulator()) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace dpjl

@@ -1,0 +1,194 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/random/rng.h"
+#include "src/stats/gof.h"
+#include "src/stats/histogram.h"
+#include "src/stats/welford.h"
+#include "tests/test_util.h"
+
+namespace dpjl {
+namespace {
+
+using testing::kTestSeed;
+using testing::NearRel;
+
+TEST(WelfordTest, MatchesNaiveMoments) {
+  Rng rng(kTestSeed);
+  std::vector<double> xs(5000);
+  for (double& v : xs) v = rng.Laplace(1.0) + 3.0;
+
+  OnlineMoments m;
+  for (double v : xs) m.Add(v);
+
+  double mean = 0.0;
+  for (double v : xs) mean += v;
+  mean /= static_cast<double>(xs.size());
+  double m2 = 0.0;
+  double m4 = 0.0;
+  for (double v : xs) {
+    m2 += (v - mean) * (v - mean);
+    m4 += std::pow(v - mean, 4);
+  }
+  const double naive_var = m2 / static_cast<double>(xs.size() - 1);
+  const double naive_m4 = m4 / static_cast<double>(xs.size());
+
+  EXPECT_TRUE(NearRel(m.mean(), mean, 1e-12));
+  EXPECT_TRUE(NearRel(m.SampleVariance(), naive_var, 1e-10));
+  EXPECT_TRUE(NearRel(m.FourthCentralMoment(), naive_m4, 1e-9));
+}
+
+TEST(WelfordTest, CountMinMax) {
+  OnlineMoments m;
+  m.Add(3.0);
+  m.Add(-1.0);
+  m.Add(7.0);
+  EXPECT_EQ(m.count(), 3);
+  EXPECT_DOUBLE_EQ(m.min(), -1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 7.0);
+}
+
+TEST(WelfordTest, EmptyAndSingleton) {
+  OnlineMoments m;
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_DOUBLE_EQ(m.SampleVariance(), 0.0);
+  m.Add(5.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.SampleVariance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.StandardError(), 0.0);
+}
+
+TEST(WelfordTest, MergeMatchesSequential) {
+  Rng rng(kTestSeed);
+  OnlineMoments all;
+  OnlineMoments part1;
+  OnlineMoments part2;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.Gaussian() * 2.0 + 1.0;
+    all.Add(v);
+    (i % 2 == 0 ? part1 : part2).Add(v);
+  }
+  part1.Merge(part2);
+  EXPECT_EQ(part1.count(), all.count());
+  EXPECT_TRUE(NearRel(part1.mean(), all.mean(), 1e-12));
+  EXPECT_TRUE(NearRel(part1.SampleVariance(), all.SampleVariance(), 1e-10));
+  EXPECT_TRUE(
+      NearRel(part1.FourthCentralMoment(), all.FourthCentralMoment(), 1e-9));
+}
+
+TEST(WelfordTest, MergeWithEmpty) {
+  OnlineMoments a;
+  a.Add(1.0);
+  a.Add(2.0);
+  OnlineMoments b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(WelfordTest, GaussianKurtosisNearZero) {
+  Rng rng(kTestSeed);
+  OnlineMoments m;
+  for (int i = 0; i < 100000; ++i) m.Add(rng.Gaussian());
+  EXPECT_NEAR(m.ExcessKurtosis(), 0.0, 0.1);
+}
+
+TEST(GofTest, KsAcceptsCorrectDistribution) {
+  Rng rng(kTestSeed);
+  std::vector<double> xs(5000);
+  for (double& v : xs) v = rng.Gaussian();
+  const double d = KsStatistic(xs, [](double x) { return StdNormalCdf(x); });
+  EXPECT_GT(KsPValue(d, 5000), 0.001);
+}
+
+TEST(GofTest, KsRejectsShiftedDistribution) {
+  Rng rng(kTestSeed);
+  std::vector<double> xs(5000);
+  for (double& v : xs) v = rng.Gaussian() + 0.5;
+  const double d = KsStatistic(xs, [](double x) { return StdNormalCdf(x); });
+  EXPECT_LT(KsPValue(d, 5000), 1e-6);
+}
+
+TEST(GofTest, ChiSquareAcceptsUniformCounts) {
+  Rng rng(kTestSeed);
+  std::vector<int64_t> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) counts[rng.UniformInt(10)]++;
+  const std::vector<double> expected(10, 10000.0);
+  EXPECT_GT(ChiSquarePValue(ChiSquareStatistic(counts, expected), 9), 0.001);
+}
+
+TEST(GofTest, ChiSquareRejectsSkewedCounts) {
+  std::vector<int64_t> counts = {5000, 1000, 1000, 1000, 1000, 1000};
+  const std::vector<double> expected(6, 10000.0 / 6.0);
+  EXPECT_LT(ChiSquarePValue(ChiSquareStatistic(counts, expected), 5), 1e-10);
+}
+
+TEST(GofTest, CdfSanity) {
+  EXPECT_NEAR(StdNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StdNormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(LaplaceCdf(0.0, 2.0), 0.5, 1e-12);
+  EXPECT_NEAR(LaplaceCdf(2.0, 2.0) + LaplaceCdf(-2.0, 2.0), 1.0, 1e-12);
+}
+
+TEST(GofTest, ChiSquarePValueMonotoneInStatistic) {
+  EXPECT_GT(ChiSquarePValue(1.0, 5), ChiSquarePValue(10.0, 5));
+  EXPECT_GT(ChiSquarePValue(10.0, 5), ChiSquarePValue(50.0, 5));
+}
+
+TEST(GofTest, ChiSquareReferenceQuantiles) {
+  // Textbook 5% critical values: chi2(0.95; dof).
+  EXPECT_NEAR(ChiSquarePValue(3.841, 1), 0.05, 0.002);
+  EXPECT_NEAR(ChiSquarePValue(5.991, 2), 0.05, 0.002);
+  EXPECT_NEAR(ChiSquarePValue(18.307, 10), 0.05, 0.002);
+  // chi2 with dof=2 is Exponential(1/2): P[X >= x] = e^{-x/2} exactly.
+  EXPECT_NEAR(ChiSquarePValue(4.0, 2), std::exp(-2.0), 1e-9);
+}
+
+TEST(GofTest, KsPValueExtremes) {
+  EXPECT_GT(KsPValue(1e-6, 1000), 0.999);
+  EXPECT_LT(KsPValue(0.5, 1000), 1e-12);
+}
+
+TEST(HistogramTest, BinsAndCounts) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);   // bin 0
+  h.Add(1.9);   // bin 0
+  h.Add(2.0);   // bin 1
+  h.Add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(4), 1);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_EQ(h.bins(), 5);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-100.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(3), 1);
+  EXPECT_EQ(h.total(), 2);
+}
+
+TEST(HistogramTest, BinLeftEdges) {
+  Histogram h(-2.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(h.BinLeft(0), -2.0);
+  EXPECT_DOUBLE_EQ(h.BinLeft(2), 0.0);
+  EXPECT_DOUBLE_EQ(h.BinLeft(3), 1.0);
+}
+
+TEST(HistogramTest, UniformDataFillsUniformly) {
+  Rng rng(kTestSeed);
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.NextDouble());
+  std::vector<double> expected(10, 10000.0);
+  EXPECT_GT(ChiSquarePValue(ChiSquareStatistic(h.counts(), expected), 9), 1e-4);
+}
+
+}  // namespace
+}  // namespace dpjl

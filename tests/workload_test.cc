@@ -1,0 +1,120 @@
+#include <cmath>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "src/linalg/vector_ops.h"
+#include "src/workload/generators.h"
+#include "tests/test_util.h"
+
+namespace dpjl {
+namespace {
+
+using testing::kTestSeed;
+
+TEST(WorkloadTest, DenseGaussianVectorShape) {
+  Rng rng(kTestSeed);
+  const auto x = DenseGaussianVector(1000, 2.0, &rng);
+  EXPECT_EQ(x.size(), 1000u);
+  // Squared norm concentrates around d * scale^2 = 4000.
+  EXPECT_NEAR(SquaredNorm(x), 4000.0, 600.0);
+}
+
+TEST(WorkloadTest, DenseUniformVectorRange) {
+  Rng rng(kTestSeed);
+  const auto x = DenseUniformVector(500, -1.0, 3.0, &rng);
+  for (double v : x) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(WorkloadTest, RandomSparseVectorHasExactNnz) {
+  Rng rng(kTestSeed);
+  for (int64_t nnz : {0, 1, 17, 64}) {
+    const SparseVector x = RandomSparseVector(64, nnz, 1.0, &rng);
+    EXPECT_EQ(x.nnz(), nnz);
+    EXPECT_EQ(x.dim(), 64);
+  }
+}
+
+TEST(WorkloadTest, BinaryHistogramHasExactOnes) {
+  Rng rng(kTestSeed);
+  const auto x = BinaryHistogram(128, 40, &rng);
+  int64_t ones = 0;
+  for (double v : x) {
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+    ones += (v == 1.0);
+  }
+  EXPECT_EQ(ones, 40);
+}
+
+TEST(WorkloadTest, NeighboringVectorAtL1DistanceOne) {
+  Rng rng(kTestSeed);
+  const auto x = DenseGaussianVector(64, 1.0, &rng);
+  for (int64_t touched : {1, 2, 8, 32}) {
+    const auto y = NeighboringVector(x, touched, &rng);
+    EXPECT_NEAR(DistanceL1(x, y), 1.0, 1e-9) << "touched=" << touched;
+  }
+}
+
+TEST(WorkloadTest, PairAtDistanceIsExact) {
+  Rng rng(kTestSeed);
+  for (double dist : {0.0, 0.5, 10.0}) {
+    const auto [x, y] = PairAtDistance(128, dist, &rng);
+    EXPECT_NEAR(std::sqrt(SquaredDistance(x, y)), dist, 1e-9);
+  }
+}
+
+TEST(WorkloadTest, ZipfDocumentLengthAndSkew) {
+  Rng rng(kTestSeed);
+  const SparseVector doc = ZipfDocument(1000, 500, 1.2, &rng);
+  double total = 0.0;
+  double rank0 = 0.0;
+  for (const auto& e : doc.entries()) {
+    total += e.value;
+    if (e.index == 0) rank0 = e.value;
+  }
+  EXPECT_DOUBLE_EQ(total, 500.0);
+  // Zipf: the top rank should dominate any deep-tail rank.
+  EXPECT_GT(rank0, 20.0);
+  EXPECT_LT(doc.nnz(), 500);
+}
+
+TEST(WorkloadTest, MakeClustersShapes) {
+  Rng rng(kTestSeed);
+  const ClusteredData data = MakeClusters(100, 16, 4, 10.0, 0.5, &rng);
+  EXPECT_EQ(data.points.size(), 100u);
+  EXPECT_EQ(data.labels.size(), 100u);
+  EXPECT_EQ(data.centers.size(), 4u);
+  for (int64_t label : data.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+  // Points sit near their centers relative to center spread.
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    const double d2 =
+        SquaredDistance(data.points[i], data.centers[data.labels[i]]);
+    EXPECT_LT(d2, 16 * 0.5 * 0.5 * 9.0);  // within ~3 sigma per coordinate
+  }
+}
+
+TEST(WorkloadTest, UpdateStreamIndicesInRange) {
+  Rng rng(kTestSeed);
+  const auto stream = UpdateStream(32, 1000, &rng);
+  EXPECT_EQ(stream.size(), 1000u);
+  for (const auto& [index, weight] : stream) {
+    EXPECT_GE(index, 0);
+    EXPECT_LT(index, 32);
+    (void)weight;
+  }
+}
+
+TEST(WorkloadTest, GeneratorsAreDeterministicPerSeed) {
+  Rng r1(kTestSeed);
+  Rng r2(kTestSeed);
+  EXPECT_EQ(DenseGaussianVector(32, 1.0, &r1), DenseGaussianVector(32, 1.0, &r2));
+}
+
+}  // namespace
+}  // namespace dpjl

@@ -1,0 +1,398 @@
+// dpjl_tool — command-line interface to the dpjl sketch pipeline.
+//
+// Subcommands:
+//   sketch    Read a vector (CSV, one value per comma or line), release a
+//             DP sketch to a binary file.
+//   estimate  Estimate squared distance between two sketch files.
+//   inspect   Print a sketch file's public metadata.
+//   selftest  End-to-end sketch->estimate round trip in a temp directory
+//             (used by ctest).
+//
+// Examples:
+//   dpjl_tool sketch --input a.csv --output a.sketch --epsilon 1.0
+//       --alpha 0.2 --beta 0.05 --seed 42 --noise-seed 7001
+//   dpjl_tool estimate --a a.sketch --b b.sketch
+//   dpjl_tool inspect --sketch a.sketch
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/estimators.h"
+#include "src/core/sketch_index.h"
+#include "src/core/sketcher.h"
+
+namespace dpjl {
+namespace {
+
+void Usage() {
+  std::cerr
+      << "usage:\n"
+         "  dpjl_tool sketch --input FILE --output FILE [--epsilon E]\n"
+         "            [--delta D] [--alpha A] [--beta B] [--seed S]\n"
+         "            [--noise-seed N] [--transform sjlt|fjlt|gaussian]\n"
+         "  dpjl_tool estimate --a FILE --b FILE\n"
+         "  dpjl_tool inspect --sketch FILE\n"
+         "  dpjl_tool index-add --index FILE --id NAME --sketch FILE\n"
+         "  dpjl_tool index-query --index FILE --sketch FILE [--top N]\n"
+         "  dpjl_tool selftest\n";
+}
+
+// Minimal --key value parser; returns false on malformed input.
+bool ParseFlags(int argc, char** argv, int first,
+                std::map<std::string, std::string>* flags) {
+  for (int i = first; i < argc; i += 2) {
+    const std::string key = argv[i];
+    if (key.size() < 3 || key.rfind("--", 0) != 0 || i + 1 >= argc) {
+      return false;
+    }
+    (*flags)[key.substr(2)] = argv[i + 1];
+  }
+  return true;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+Result<std::vector<double>> ReadCsvVector(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open input file: " + path);
+  std::vector<double> values;
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    // Allow newline-separated values inside comma tokens too.
+    std::istringstream inner(token);
+    std::string piece;
+    while (std::getline(inner, piece)) {
+      if (piece.empty()) continue;
+      try {
+        size_t used = 0;
+        const double v = std::stod(piece, &used);
+        values.push_back(v);
+      } catch (...) {
+        return Status::InvalidArgument("unparseable value: '" + piece + "'");
+      }
+    }
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("input vector is empty");
+  }
+  return values;
+}
+
+Status WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open output file: " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return out ? Status::OK() : Status::Internal("short write: " + path);
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<SketcherConfig> ConfigFromFlags(
+    const std::map<std::string, std::string>& flags) {
+  SketcherConfig config;
+  config.epsilon = std::atof(FlagOr(flags, "epsilon", "1.0").c_str());
+  config.delta = std::atof(FlagOr(flags, "delta", "0").c_str());
+  config.alpha = std::atof(FlagOr(flags, "alpha", "0.2").c_str());
+  config.beta = std::atof(FlagOr(flags, "beta", "0.05").c_str());
+  config.projection_seed =
+      std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
+  const std::string transform = FlagOr(flags, "transform", "sjlt");
+  if (transform == "sjlt") {
+    config.transform = TransformKind::kSjltBlock;
+  } else if (transform == "fjlt") {
+    config.transform = TransformKind::kFjlt;
+  } else if (transform == "gaussian") {
+    config.transform = TransformKind::kGaussianIid;
+  } else {
+    return Status::InvalidArgument("unknown transform: " + transform);
+  }
+  return config;
+}
+
+int CmdSketch(const std::map<std::string, std::string>& flags) {
+  const std::string input = FlagOr(flags, "input", "");
+  const std::string output = FlagOr(flags, "output", "");
+  if (input.empty() || output.empty()) {
+    Usage();
+    return 2;
+  }
+  auto vector = ReadCsvVector(input);
+  if (!vector.ok()) {
+    std::cerr << vector.status() << "\n";
+    return 1;
+  }
+  auto config = ConfigFromFlags(flags);
+  if (!config.ok()) {
+    std::cerr << config.status() << "\n";
+    return 1;
+  }
+  auto sketcher =
+      PrivateSketcher::Create(static_cast<int64_t>(vector->size()), *config);
+  if (!sketcher.ok()) {
+    std::cerr << sketcher.status() << "\n";
+    return 1;
+  }
+  const uint64_t noise_seed =
+      std::strtoull(FlagOr(flags, "noise-seed", "0").c_str(), nullptr, 10);
+  if (noise_seed == 0) {
+    std::cerr << "--noise-seed must be a non-zero secret; it protects your "
+                 "data and must differ per input\n";
+    return 2;
+  }
+  const PrivateSketch sketch = sketcher->Sketch(*vector, noise_seed);
+  const Status written = WriteFile(output, sketch.Serialize());
+  if (!written.ok()) {
+    std::cerr << written << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << output << ": " << sketcher->Describe() << ", d="
+            << vector->size() << " -> k=" << sketch.values().size() << "\n";
+  return 0;
+}
+
+int CmdEstimate(const std::map<std::string, std::string>& flags) {
+  const std::string path_a = FlagOr(flags, "a", "");
+  const std::string path_b = FlagOr(flags, "b", "");
+  if (path_a.empty() || path_b.empty()) {
+    Usage();
+    return 2;
+  }
+  auto bytes_a = ReadFile(path_a);
+  auto bytes_b = ReadFile(path_b);
+  if (!bytes_a.ok() || !bytes_b.ok()) {
+    std::cerr << (bytes_a.ok() ? bytes_b.status() : bytes_a.status()) << "\n";
+    return 1;
+  }
+  auto a = PrivateSketch::Deserialize(*bytes_a);
+  auto b = PrivateSketch::Deserialize(*bytes_b);
+  if (!a.ok() || !b.ok()) {
+    std::cerr << (a.ok() ? b.status() : a.status()) << "\n";
+    return 1;
+  }
+  auto dist = EstimateSquaredDistance(*a, *b);
+  if (!dist.ok()) {
+    std::cerr << dist.status() << "\n";
+    return 1;
+  }
+  std::printf("squared_distance_estimate\t%.6f\n", *dist);
+  std::printf("distance_estimate\t%.6f\n",
+              EstimateDistance(*a, *b).value());
+  return 0;
+}
+
+int CmdInspect(const std::map<std::string, std::string>& flags) {
+  const std::string path = FlagOr(flags, "sketch", "");
+  if (path.empty()) {
+    Usage();
+    return 2;
+  }
+  auto bytes = ReadFile(path);
+  if (!bytes.ok()) {
+    std::cerr << bytes.status() << "\n";
+    return 1;
+  }
+  auto sketch = PrivateSketch::Deserialize(*bytes);
+  if (!sketch.ok()) {
+    std::cerr << sketch.status() << "\n";
+    return 1;
+  }
+  const SketchMetadata& m = sketch->metadata();
+  std::printf("transform\t%s\n", TransformKindName(m.transform).c_str());
+  std::printf("input_dim\t%lld\n", static_cast<long long>(m.input_dim));
+  std::printf("output_dim\t%lld\n", static_cast<long long>(m.output_dim));
+  std::printf("sparsity\t%lld\n", static_cast<long long>(m.sparsity));
+  std::printf("projection_seed\t%llu\n",
+              static_cast<unsigned long long>(m.projection_seed));
+  std::printf("placement\t%s\n",
+              m.placement == NoisePlacement::kOutput ? "output" : "input");
+  std::printf("noise_scale\t%g\n", m.noise_scale);
+  std::printf("epsilon\t%g\n", m.epsilon);
+  std::printf("delta\t%g\n", m.delta);
+  return 0;
+}
+
+int CmdIndexAdd(const std::map<std::string, std::string>& flags) {
+  const std::string index_path = FlagOr(flags, "index", "");
+  const std::string id = FlagOr(flags, "id", "");
+  const std::string sketch_path = FlagOr(flags, "sketch", "");
+  if (index_path.empty() || id.empty() || sketch_path.empty()) {
+    Usage();
+    return 2;
+  }
+  // Load (or start) the index.
+  SketchIndex index;
+  if (auto bytes = ReadFile(index_path); bytes.ok()) {
+    auto decoded = SketchIndex::Deserialize(*bytes);
+    if (!decoded.ok()) {
+      std::cerr << decoded.status() << "\n";
+      return 1;
+    }
+    index = std::move(decoded).value();
+  }
+  auto sketch_bytes = ReadFile(sketch_path);
+  if (!sketch_bytes.ok()) {
+    std::cerr << sketch_bytes.status() << "\n";
+    return 1;
+  }
+  auto sketch = PrivateSketch::Deserialize(*sketch_bytes);
+  if (!sketch.ok()) {
+    std::cerr << sketch.status() << "\n";
+    return 1;
+  }
+  const Status added = index.Add(id, std::move(sketch).value());
+  if (!added.ok()) {
+    std::cerr << added << "\n";
+    return 1;
+  }
+  const Status written = WriteFile(index_path, index.Serialize());
+  if (!written.ok()) {
+    std::cerr << written << "\n";
+    return 1;
+  }
+  std::cout << "index " << index_path << ": " << index.size() << " sketches\n";
+  return 0;
+}
+
+int CmdIndexQuery(const std::map<std::string, std::string>& flags) {
+  const std::string index_path = FlagOr(flags, "index", "");
+  const std::string sketch_path = FlagOr(flags, "sketch", "");
+  if (index_path.empty() || sketch_path.empty()) {
+    Usage();
+    return 2;
+  }
+  auto index_bytes = ReadFile(index_path);
+  if (!index_bytes.ok()) {
+    std::cerr << index_bytes.status() << "\n";
+    return 1;
+  }
+  auto index = SketchIndex::Deserialize(*index_bytes);
+  if (!index.ok()) {
+    std::cerr << index.status() << "\n";
+    return 1;
+  }
+  auto sketch_bytes = ReadFile(sketch_path);
+  if (!sketch_bytes.ok()) {
+    std::cerr << sketch_bytes.status() << "\n";
+    return 1;
+  }
+  auto query = PrivateSketch::Deserialize(*sketch_bytes);
+  if (!query.ok()) {
+    std::cerr << query.status() << "\n";
+    return 1;
+  }
+  const int64_t top = std::atoll(FlagOr(flags, "top", "5").c_str());
+  auto neighbors = index->NearestNeighbors(*query, top);
+  if (!neighbors.ok()) {
+    std::cerr << neighbors.status() << "\n";
+    return 1;
+  }
+  for (const auto& n : *neighbors) {
+    std::printf("%s\t%.6f\n", n.id.c_str(), n.squared_distance);
+  }
+  return 0;
+}
+
+int CmdSelftest() {
+  // End-to-end: write two CSVs, sketch both, estimate, verify plausibility.
+  const std::string dir = "/tmp/dpjl_tool_selftest";
+  std::system(("mkdir -p " + dir).c_str());
+  const int64_t d = 2000;
+  std::ofstream a_csv(dir + "/a.csv");
+  std::ofstream b_csv(dir + "/b.csv");
+  for (int64_t i = 0; i < d; ++i) {
+    const double v = (i % 17) * 0.25;
+    a_csv << v << (i + 1 < d ? "," : "");
+    // b differs in a block of coordinates: true squared distance = 64.
+    b_csv << (i < 16 ? v + 2.0 : v) << (i + 1 < d ? "," : "");
+  }
+  a_csv.close();
+  b_csv.close();
+
+  const auto run = [&](const std::vector<std::string>& args) {
+    std::map<std::string, std::string> flags;
+    for (size_t i = 1; i + 1 < args.size(); i += 2) {
+      flags[args[i].substr(2)] = args[i + 1];
+    }
+    if (args[0] == "sketch") return CmdSketch(flags);
+    if (args[0] == "estimate") return CmdEstimate(flags);
+    return 1;
+  };
+  int rc = run({"sketch", "--input", dir + "/a.csv", "--output",
+                dir + "/a.sketch", "--epsilon", "4.0", "--seed", "9",
+                "--noise-seed", "101"});
+  if (rc != 0) return rc;
+  rc = run({"sketch", "--input", dir + "/b.csv", "--output", dir + "/b.sketch",
+            "--epsilon", "4.0", "--seed", "9", "--noise-seed", "202"});
+  if (rc != 0) return rc;
+
+  auto a = PrivateSketch::Deserialize(*ReadFile(dir + "/a.sketch"));
+  auto b = PrivateSketch::Deserialize(*ReadFile(dir + "/b.sketch"));
+  if (!a.ok() || !b.ok()) return 1;
+  const double est = EstimateSquaredDistance(*a, *b).value();
+  std::cout << "selftest estimate (truth 64): " << est << "\n";
+  // Very wide plausibility band: JL + noise at eps = 4.
+  if (est < -500.0 || est > 1000.0) {
+    std::cerr << "selftest estimate implausible\n";
+    return 1;
+  }
+
+  // Index round trip through the file-based subcommands.
+  std::remove((dir + "/corpus.index").c_str());
+  rc = CmdIndexAdd({{"index", dir + "/corpus.index"},
+                    {"id", "a"},
+                    {"sketch", dir + "/a.sketch"}});
+  if (rc != 0) return rc;
+  rc = CmdIndexAdd({{"index", dir + "/corpus.index"},
+                    {"id", "b"},
+                    {"sketch", dir + "/b.sketch"}});
+  if (rc != 0) return rc;
+  rc = CmdIndexQuery({{"index", dir + "/corpus.index"},
+                      {"sketch", dir + "/a.sketch"},
+                      {"top", "2"}});
+  if (rc != 0) return rc;
+
+  std::cout << "selftest ok\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  std::map<std::string, std::string> flags;
+  if (!ParseFlags(argc, argv, 2, &flags)) {
+    Usage();
+    return 2;
+  }
+  if (command == "sketch") return CmdSketch(flags);
+  if (command == "estimate") return CmdEstimate(flags);
+  if (command == "inspect") return CmdInspect(flags);
+  if (command == "index-add") return CmdIndexAdd(flags);
+  if (command == "index-query") return CmdIndexQuery(flags);
+  if (command == "selftest") return CmdSelftest();
+  Usage();
+  return 2;
+}
+
+}  // namespace
+}  // namespace dpjl
+
+int main(int argc, char** argv) { return dpjl::Main(argc, argv); }
