@@ -1,0 +1,121 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace dpjl {
+
+namespace {
+
+/// Completion tracker shared by one ParallelFor call's chunks. The caller
+/// waits on `done` until `remaining` reaches zero; the last finishing chunk
+/// notifies. ParallelFor blocks until remaining == 0, so tasks may capture
+/// `fn` by reference; the shared_ptr only covers the tracker itself, whose
+/// last toucher may be a worker rather than the caller.
+struct ForState {
+  explicit ForState(int64_t chunks) : remaining(chunks) {}
+  std::mutex m;
+  std::condition_variable done;
+  int64_t remaining;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n - 1));
+  for (int i = 0; i < n - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::DefaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::Run(ThreadPool* pool, int64_t begin, int64_t end,
+                     int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelFor(begin, end, grain, fn);
+    return;
+  }
+  const int64_t chunk = std::max<int64_t>(1, grain);
+  for (int64_t b = begin; b < end; b += chunk) {
+    fn(b, std::min(end, b + chunk));
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  const int64_t chunk = std::max<int64_t>(1, grain);
+  const int64_t n = end - begin;
+  const int64_t num_chunks = (n + chunk - 1) / chunk;
+  // One chunk, or nobody to hand work to: run inline.
+  if (num_chunks == 1 || workers_.empty()) {
+    for (int64_t b = begin; b < end; b += chunk) {
+      fn(b, std::min(end, b + chunk));
+    }
+    return;
+  }
+  auto state = std::make_shared<ForState>(num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Enqueue all but the last chunk; the caller runs that one itself.
+    for (int64_t b = begin; b + chunk < end; b += chunk) {
+      const int64_t e = std::min(end, b + chunk);
+      tasks_.emplace_back([state, &fn, b, e] {
+        fn(b, e);
+        std::lock_guard<std::mutex> state_lock(state->m);
+        if (--state->remaining == 0) state->done.notify_all();
+      });
+    }
+  }
+  task_available_.notify_all();
+  // The caller's own chunk, then help drain the queue (possibly including
+  // other callers' chunks — harmless) until this call's chunks are done.
+  const int64_t last_begin = begin + (num_chunks - 1) * chunk;
+  fn(last_begin, end);
+  while (RunOneTask()) {
+  }
+  std::unique_lock<std::mutex> lock(state->m);
+  state->done.wait(lock, [&state] { return state->remaining == 0; });
+}
+
+}  // namespace dpjl

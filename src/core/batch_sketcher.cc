@@ -1,0 +1,75 @@
+#include "src/core/batch_sketcher.h"
+
+namespace dpjl {
+
+BatchSketcher::BatchSketcher(const PrivateSketcher* sketcher, ThreadPool* pool,
+                             int64_t grain)
+    : sketcher_(sketcher), pool_(pool), grain_(grain < 1 ? 1 : grain) {}
+
+Result<std::vector<PrivateSketch>> BatchSketcher::BatchSketch(
+    const std::vector<std::vector<double>>& xs,
+    uint64_t base_noise_seed) const {
+  const int64_t n = static_cast<int64_t>(xs.size());
+  // Validate up front: Sketch() aborts on dimension mismatch, and a partial
+  // parallel batch would be wasted work anyway.
+  for (int64_t i = 0; i < n; ++i) {
+    if (static_cast<int64_t>(xs[i].size()) != sketcher_->input_dim()) {
+      return Status::InvalidArgument(
+          "batch item " + std::to_string(i) + " has dimension " +
+          std::to_string(xs[i].size()) + ", sketcher expects " +
+          std::to_string(sketcher_->input_dim()));
+    }
+  }
+  std::vector<PrivateSketch> out(static_cast<size_t>(n));
+  ThreadPool::Run(pool_, 0, n, grain_, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      out[static_cast<size_t>(i)] =
+          sketcher_->Sketch(xs[static_cast<size_t>(i)],
+                            BatchItemNoiseSeed(base_noise_seed, i));
+    }
+  });
+  return out;
+}
+
+Result<std::vector<PrivateSketch>> BatchSketcher::BatchSketchSparse(
+    const std::vector<SparseVector>& xs, uint64_t base_noise_seed) const {
+  const int64_t n = static_cast<int64_t>(xs.size());
+  for (int64_t i = 0; i < n; ++i) {
+    if (xs[static_cast<size_t>(i)].dim() != sketcher_->input_dim()) {
+      return Status::InvalidArgument(
+          "batch item " + std::to_string(i) + " has dimension " +
+          std::to_string(xs[static_cast<size_t>(i)].dim()) +
+          ", sketcher expects " + std::to_string(sketcher_->input_dim()));
+    }
+  }
+  std::vector<PrivateSketch> out(static_cast<size_t>(n));
+  ThreadPool::Run(pool_, 0, n, grain_, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      out[static_cast<size_t>(i)] =
+          sketcher_->SketchSparse(xs[static_cast<size_t>(i)],
+                                  BatchItemNoiseSeed(base_noise_seed, i));
+    }
+  });
+  return out;
+}
+
+Result<std::vector<PrivateSketch>> BatchFinalize(
+    const std::vector<const StreamingSketcher*>& streams, ThreadPool* pool,
+    int64_t grain) {
+  const int64_t n = static_cast<int64_t>(streams.size());
+  for (int64_t i = 0; i < n; ++i) {
+    if (streams[static_cast<size_t>(i)] == nullptr) {
+      return Status::InvalidArgument("batch stream " + std::to_string(i) +
+                                     " is null");
+    }
+  }
+  std::vector<PrivateSketch> out(static_cast<size_t>(n));
+  ThreadPool::Run(pool, 0, n, grain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      out[static_cast<size_t>(i)] = streams[static_cast<size_t>(i)]->Finalize();
+    }
+  });
+  return out;
+}
+
+}  // namespace dpjl

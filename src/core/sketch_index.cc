@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 
 #include "src/core/estimators.h"
 
@@ -16,33 +17,67 @@ void AppendU64(std::string* out, uint64_t v) {
 }
 
 bool ReadU64(const std::string& in, size_t* offset, uint64_t* v) {
-  if (*offset + sizeof(*v) > in.size()) return false;
+  if (in.size() - *offset < sizeof(*v)) return false;
   std::memcpy(v, in.data() + *offset, sizeof(*v));
   *offset += sizeof(*v);
   return true;
 }
 
+/// True iff `len` more bytes fit; written to be immune to the
+/// offset + len overflow a crafted huge length field would cause.
+bool Fits(const std::string& in, size_t offset, uint64_t len) {
+  return len <= in.size() - offset;
+}
+
+bool NeighborLess(const SketchIndex::Neighbor& a,
+                  const SketchIndex::Neighbor& b) {
+  if (a.squared_distance != b.squared_distance) {
+    return a.squared_distance < b.squared_distance;
+  }
+  return a.id < b.id;
+}
+
 }  // namespace
 
+SketchIndex::SketchIndex(int num_shards)
+    : shards_(static_cast<size_t>(std::max(1, num_shards))) {}
+
+size_t SketchIndex::ShardOf(const std::string& id) const {
+  return std::hash<std::string>{}(id) % shards_.size();
+}
+
+void SketchIndex::ForEachShard(
+    ThreadPool* pool, const std::function<void(size_t)>& scan) const {
+  ThreadPool::Run(pool, 0, static_cast<int64_t>(shards_.size()), 1,
+                  [&scan](int64_t begin, int64_t end) {
+                    for (int64_t i = begin; i < end; ++i) {
+                      scan(static_cast<size_t>(i));
+                    }
+                  });
+}
+
 Status SketchIndex::Add(std::string id, PrivateSketch sketch) {
-  if (sketches_.count(id) > 0) {
+  Shard& shard = shards_[ShardOf(id)];
+  if (shard.by_id.count(id) > 0) {
     return Status::InvalidArgument("duplicate sketch id: " + id);
   }
   if (!order_.empty()) {
-    const PrivateSketch& first = sketches_.at(order_.front());
+    const PrivateSketch& first = *Find(order_.front());
     if (!first.metadata().CompatibleWith(sketch.metadata())) {
       return Status::FailedPrecondition(
           "sketch is incompatible with the index's projection");
     }
   }
   order_.push_back(id);
-  sketches_.emplace(std::move(id), std::move(sketch));
+  shard.by_id.emplace(id, shard.entries.size());
+  shard.entries.push_back(Entry{std::move(id), std::move(sketch)});
   return Status::OK();
 }
 
 const PrivateSketch* SketchIndex::Find(const std::string& id) const {
-  auto it = sketches_.find(id);
-  return it == sketches_.end() ? nullptr : &it->second;
+  const Shard& shard = shards_[ShardOf(id)];
+  auto it = shard.by_id.find(id);
+  return it == shard.by_id.end() ? nullptr : &shard.entries[it->second].sketch;
 }
 
 Result<double> SketchIndex::SquaredDistance(const std::string& id_a,
@@ -56,47 +91,96 @@ Result<double> SketchIndex::SquaredDistance(const std::string& id_a,
 }
 
 Result<std::vector<SketchIndex::Neighbor>> SketchIndex::NearestNeighbors(
-    const PrivateSketch& query, int64_t top_n) const {
+    const PrivateSketch& query, int64_t top_n, ThreadPool* pool) const {
   if (top_n < 1) {
     return Status::InvalidArgument("top_n must be >= 1");
   }
+  // Scan shards concurrently into per-shard slots; the merge below imposes
+  // the deterministic (distance, id) total order, so neither shard layout
+  // nor scheduling can show through in the result.
+  std::vector<std::vector<Neighbor>> partial(shards_.size());
+  std::vector<Status> shard_status(shards_.size());
+  ForEachShard(pool, [&](size_t s) {
+    partial[s].reserve(shards_[s].entries.size());
+    for (const Entry& e : shards_[s].entries) {
+      auto dist = EstimateSquaredDistance(query, e.sketch);
+      if (!dist.ok()) {
+        shard_status[s] = dist.status();
+        return;
+      }
+      partial[s].push_back(Neighbor{e.id, *dist});
+    }
+  });
   std::vector<Neighbor> all;
   all.reserve(order_.size());
-  for (const std::string& id : order_) {
-    DPJL_ASSIGN_OR_RETURN(double dist,
-                          EstimateSquaredDistance(query, sketches_.at(id)));
-    all.push_back(Neighbor{id, dist});
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    DPJL_RETURN_IF_ERROR(shard_status[s]);
+    all.insert(all.end(), partial[s].begin(), partial[s].end());
   }
-  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
-    if (a.squared_distance != b.squared_distance) {
-      return a.squared_distance < b.squared_distance;
-    }
-    return a.id < b.id;
-  });
-  if (static_cast<int64_t>(all.size()) > top_n) {
-    all.resize(static_cast<size_t>(top_n));
-  }
+  // Ids are unique, so (distance, id) is a strict total order and
+  // partial_sort is as deterministic as a full sort of the prefix.
+  const auto keep = std::min<int64_t>(top_n, static_cast<int64_t>(all.size()));
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(), NeighborLess);
+  all.resize(static_cast<size_t>(keep));
   return all;
 }
 
 Result<std::vector<SketchIndex::Neighbor>> SketchIndex::RangeQuery(
-    const PrivateSketch& query, double radius_sq) const {
+    const PrivateSketch& query, double radius_sq, ThreadPool* pool) const {
   if (!(radius_sq >= 0)) {
     return Status::InvalidArgument("radius must be non-negative");
   }
-  std::vector<Neighbor> hits;
-  for (const std::string& id : order_) {
-    DPJL_ASSIGN_OR_RETURN(double dist,
-                          EstimateSquaredDistance(query, sketches_.at(id)));
-    if (dist <= radius_sq) hits.push_back(Neighbor{id, dist});
-  }
-  std::sort(hits.begin(), hits.end(), [](const Neighbor& a, const Neighbor& b) {
-    if (a.squared_distance != b.squared_distance) {
-      return a.squared_distance < b.squared_distance;
+  std::vector<std::vector<Neighbor>> partial(shards_.size());
+  std::vector<Status> shard_status(shards_.size());
+  ForEachShard(pool, [&](size_t s) {
+    for (const Entry& e : shards_[s].entries) {
+      auto dist = EstimateSquaredDistance(query, e.sketch);
+      if (!dist.ok()) {
+        shard_status[s] = dist.status();
+        return;
+      }
+      if (*dist <= radius_sq) partial[s].push_back(Neighbor{e.id, *dist});
     }
-    return a.id < b.id;
   });
+  std::vector<Neighbor> hits;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    DPJL_RETURN_IF_ERROR(shard_status[s]);
+    hits.insert(hits.end(), partial[s].begin(), partial[s].end());
+  }
+  std::sort(hits.begin(), hits.end(), NeighborLess);
   return hits;
+}
+
+Result<SketchIndex::DistanceMatrix> SketchIndex::AllPairsDistances(
+    ThreadPool* pool) const {
+  const int64_t n = size();
+  DistanceMatrix matrix;
+  matrix.ids = order_;
+  matrix.values.assign(static_cast<size_t>(n * n), 0.0);
+  std::vector<const PrivateSketch*> sketches;
+  sketches.reserve(static_cast<size_t>(n));
+  for (const std::string& id : order_) sketches.push_back(Find(id));
+
+  // Row i owns every pair (i, j), j > i, and mirrors it into (j, i); each
+  // cell is written by exactly one row task, so rows parallelize freely.
+  // Grain 1 keeps the triangular row costs balanced across threads.
+  std::vector<Status> row_status(static_cast<size_t>(n));
+  ThreadPool::Run(pool, 0, n, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        auto dist = EstimateSquaredDistance(*sketches[static_cast<size_t>(i)],
+                                            *sketches[static_cast<size_t>(j)]);
+        if (!dist.ok()) {
+          row_status[static_cast<size_t>(i)] = dist.status();
+          break;
+        }
+        matrix.values[static_cast<size_t>(i * n + j)] = *dist;
+        matrix.values[static_cast<size_t>(j * n + i)] = *dist;
+      }
+    }
+  });
+  for (const Status& status : row_status) DPJL_RETURN_IF_ERROR(status);
+  return matrix;
 }
 
 std::string SketchIndex::Serialize() const {
@@ -104,7 +188,7 @@ std::string SketchIndex::Serialize() const {
   out.append(kIndexMagic, sizeof(kIndexMagic));
   AppendU64(&out, static_cast<uint64_t>(order_.size()));
   for (const std::string& id : order_) {
-    const std::string blob = sketches_.at(id).Serialize();
+    const std::string blob = Find(id)->Serialize();
     AppendU64(&out, id.size());
     out.append(id);
     AppendU64(&out, blob.size());
@@ -123,17 +207,22 @@ Result<SketchIndex> SketchIndex::Deserialize(const std::string& bytes) {
   if (!ReadU64(bytes, &offset, &count)) {
     return Status::DataLoss("truncated index header");
   }
+  // Each record needs at least its two length fields; anything claiming
+  // more records than could fit is corrupt, not worth looping over.
+  if (count > (bytes.size() - offset) / (2 * sizeof(uint64_t))) {
+    return Status::DataLoss("index record count exceeds payload size");
+  }
   SketchIndex index;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t id_len = 0;
-    if (!ReadU64(bytes, &offset, &id_len) || offset + id_len > bytes.size()) {
+    if (!ReadU64(bytes, &offset, &id_len) || !Fits(bytes, offset, id_len)) {
       return Status::DataLoss("truncated index id");
     }
     std::string id = bytes.substr(offset, id_len);
     offset += id_len;
     uint64_t blob_len = 0;
     if (!ReadU64(bytes, &offset, &blob_len) ||
-        offset + blob_len > bytes.size()) {
+        !Fits(bytes, offset, blob_len)) {
       return Status::DataLoss("truncated index sketch blob");
     }
     DPJL_ASSIGN_OR_RETURN(PrivateSketch sketch, PrivateSketch::Deserialize(

@@ -2,35 +2,58 @@
 #define DPJL_CORE_SKETCH_INDEX_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/thread_pool.h"
 #include "src/core/sketch.h"
 
 namespace dpjl {
 
-/// A small in-memory collection of released sketches supporting distance
+/// An in-memory collection of released sketches supporting distance
 /// queries and nearest-neighbor search — the application layer the paper's
 /// introduction motivates (approximate NN search, document comparison) in
 /// one reusable component.
 ///
-/// All stored sketches must be mutually compatible (same public projection);
-/// Add() enforces this. The index stores released artifacts only, so it can
-/// be operated by an untrusted aggregator without privacy implications —
-/// everything inside is already differentially private.
+/// Storage is hash-partitioned into a fixed number of shards (id hash mod
+/// shard count), so queries can scan shards concurrently on a ThreadPool
+/// and merge the partial results. The shard layout is an implementation
+/// detail: query results, `ids()` order and the serialized format are
+/// defined purely by insertion order and the deterministic
+/// (distance, id) sort, and are identical for any shard count, thread
+/// count, or no pool at all.
+///
+/// All stored sketches must be mutually compatible (same public
+/// projection); Add() enforces this. The index stores released artifacts
+/// only, so it can be operated by an untrusted aggregator without privacy
+/// implications — everything inside is already differentially private.
+///
+/// Thread safety: const methods (all queries, Serialize) are safe to call
+/// concurrently, including passing the same or different pools. Add() is
+/// not safe concurrently with anything else.
 class SketchIndex {
  public:
-  SketchIndex() = default;
+  /// Default shard count: enough lanes for typical core counts without
+  /// fragmenting small corpora.
+  static constexpr int kDefaultShards = 16;
+
+  SketchIndex() : SketchIndex(kDefaultShards) {}
+
+  /// `num_shards` below 1 is clamped to 1.
+  explicit SketchIndex(int num_shards);
 
   /// Inserts `sketch` under `id`. Fails if the id exists or the sketch is
-  /// incompatible with those already stored.
+  /// incompatible with those already stored. Pointers previously returned
+  /// by Find() remain valid (per-shard deque storage).
   Status Add(std::string id, PrivateSketch sketch);
 
   int64_t size() const { return static_cast<int64_t>(order_.size()); }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
-  /// Pointer to a stored sketch, or nullptr.
+  /// Pointer to a stored sketch, or nullptr. Stable across Add().
   const PrivateSketch* Find(const std::string& id) const;
 
   /// Unbiased estimate of ||x_a - x_b||_2^2 between two stored sketches.
@@ -46,18 +69,38 @@ class SketchIndex {
   /// distance, ascending (ties broken by id for determinism). `query` may
   /// be a stored sketch or an external compatible one; if it is stored, it
   /// will match itself at (noisy) distance ~0 — callers filter if needed.
+  /// With a non-null `pool`, shards are scanned concurrently; the result
+  /// is identical to the serial scan.
   Result<std::vector<Neighbor>> NearestNeighbors(const PrivateSketch& query,
-                                                 int64_t top_n) const;
+                                                 int64_t top_n,
+                                                 ThreadPool* pool = nullptr) const;
 
   /// All stored sketches within estimated squared distance `radius_sq` of
   /// `query`, ascending. The noise floor applies: radii below
   /// sqrt(Var[E_hat]) admit false positives/negatives at the boundary.
   Result<std::vector<Neighbor>> RangeQuery(const PrivateSketch& query,
-                                           double radius_sq) const;
+                                           double radius_sq,
+                                           ThreadPool* pool = nullptr) const;
 
-  /// Serializes the whole index (ids + sketches) to a binary string, and
-  /// back. The index persists released artifacts only, so the file is as
-  /// public as the sketches themselves.
+  /// Estimated squared distances between every stored pair, in insertion
+  /// order: `values[i * n + j]` estimates ||x_i - x_j||^2 for ids()[i],
+  /// ids()[j]. Symmetric by construction (the (i, j) estimate is computed
+  /// once and mirrored); the diagonal is exactly 0 by definition rather
+  /// than the estimator's negative self-noise value.
+  struct DistanceMatrix {
+    std::vector<std::string> ids;
+    std::vector<double> values;  // n * n, row-major
+
+    double at(int64_t i, int64_t j) const {
+      return values[static_cast<size_t>(i * static_cast<int64_t>(ids.size()) + j)];
+    }
+  };
+  Result<DistanceMatrix> AllPairsDistances(ThreadPool* pool = nullptr) const;
+
+  /// Serializes the whole index (ids + sketches, insertion order) to a
+  /// binary string, and back. The format does not encode the shard layout;
+  /// Deserialize may use any shard count. The index persists released
+  /// artifacts only, so the file is as public as the sketches themselves.
   std::string Serialize() const;
   static Result<SketchIndex> Deserialize(const std::string& bytes);
 
@@ -65,7 +108,24 @@ class SketchIndex {
   const std::vector<std::string>& ids() const { return order_; }
 
  private:
-  std::unordered_map<std::string, PrivateSketch> sketches_;
+  struct Entry {
+    std::string id;
+    PrivateSketch sketch;
+  };
+  /// One hash partition. `entries` is a deque so Find() pointers survive
+  /// later insertions; `by_id` maps id -> position in `entries`.
+  struct Shard {
+    std::deque<Entry> entries;
+    std::unordered_map<std::string, size_t> by_id;
+  };
+
+  size_t ShardOf(const std::string& id) const;
+
+  /// Runs `scan(shard_index)` for every shard, on `pool` when provided.
+  void ForEachShard(ThreadPool* pool,
+                    const std::function<void(size_t)>& scan) const;
+
+  std::vector<Shard> shards_;
   std::vector<std::string> order_;
 };
 

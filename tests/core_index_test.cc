@@ -173,6 +173,157 @@ TEST(SketchIndexTest, EmptyIndexSerializes) {
   EXPECT_EQ(decoded.size(), 0);
 }
 
+TEST(SketchIndexTest, SerializeRoundTripPropertyOverRandomIndexes) {
+  // Property: for random corpora — including the empty index, a single
+  // element, and ids with embedded NUL / UTF-8 / high bytes — Deserialize
+  // is a perfect inverse of Serialize.
+  const int64_t d = 32;
+  SketcherConfig config = Base();
+  config.k_override = 16;
+  config.s_override = 4;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, config);
+  const std::vector<std::string> id_pool = {
+      std::string("nul\0inside", 10),  // embedded NUL
+      std::string("\0", 1),            // NUL-only id
+      "\xCE\xB1\xCE\xB2-utf8",         // "αβ-utf8"
+      "plain",
+      std::string("\xFF\xFE\x01", 3),  // arbitrary high/low bytes
+      "",                              // empty id
+  };
+  Rng rng(kTestSeed);
+  for (int64_t trial = 0; trial < 20; ++trial) {
+    const int64_t n = trial % 7;  // sizes 0..6, covering empty and singleton
+    SketchIndex index(1 + static_cast<int>(trial % 5));
+    for (int64_t i = 0; i < n; ++i) {
+      std::string id = id_pool[static_cast<size_t>((trial + i) %
+                                                   id_pool.size())];
+      id += static_cast<char>('a' + i);  // make ids unique within the index
+      ASSERT_TRUE(index
+                      .Add(id, sketcher.Sketch(DenseGaussianVector(d, 1.0, &rng),
+                                               1 + static_cast<uint64_t>(
+                                                       trial * 100 + i)))
+                      .ok());
+    }
+    const std::string bytes = index.Serialize();
+    const auto decoded = SketchIndex::Deserialize(bytes);
+    ASSERT_TRUE(decoded.ok()) << "trial " << trial << ": " << decoded.status();
+    ASSERT_EQ(decoded->ids(), index.ids()) << "trial " << trial;
+    for (const std::string& id : index.ids()) {
+      ASSERT_NE(decoded->Find(id), nullptr);
+      EXPECT_EQ(decoded->Find(id)->values(), index.Find(id)->values());
+    }
+    EXPECT_EQ(decoded->Serialize(), bytes);
+  }
+}
+
+TEST(SketchIndexTest, DeserializeRejectsEveryTruncation) {
+  const int64_t d = 32;
+  SketcherConfig config = Base();
+  config.k_override = 16;
+  config.s_override = 4;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, config);
+  SketchIndex index;
+  Rng rng(kTestSeed);
+  ASSERT_TRUE(
+      index.Add(std::string("a\0b", 3),
+                sketcher.Sketch(DenseGaussianVector(d, 1.0, &rng), 1)).ok());
+  ASSERT_TRUE(
+      index.Add("second",
+                sketcher.Sketch(DenseGaussianVector(d, 1.0, &rng), 2)).ok());
+  const std::string bytes = index.Serialize();
+  // Every strict prefix must be rejected with a clean Status — never OK,
+  // never a crash or a read past the end.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    const auto decoded = SketchIndex::Deserialize(bytes.substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "prefix of length " << len << " decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss) << len;
+  }
+}
+
+TEST(SketchIndexTest, DeserializeRejectsOverflowingLengthFields) {
+  // Length fields near UINT64_MAX must not wrap the offset arithmetic into
+  // an accepted (garbage) read.
+  const std::string magic = "DPJLIX01";
+  const auto u64 = [](uint64_t v) {
+    return std::string(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  // count = 1, id_len = UINT64_MAX.
+  EXPECT_EQ(SketchIndex::Deserialize(magic + u64(1) + u64(UINT64_MAX))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+  // count = 1, tiny id, blob_len = UINT64_MAX - 7 (wraps offset + len).
+  EXPECT_EQ(SketchIndex::Deserialize(magic + u64(1) + u64(1) + "x" +
+                                     u64(UINT64_MAX - 7))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+  // Absurd record count with no payload behind it.
+  EXPECT_EQ(SketchIndex::Deserialize(magic + u64(UINT64_MAX)).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(SketchIndexTest, DeserializeSurvivesSingleByteCorruption) {
+  // Flipping any single byte must yield either a clean error or a decoded
+  // index (flips inside coordinate payloads are legitimate data) — never a
+  // crash, hang, or sanitizer fault.
+  const int64_t d = 32;
+  SketcherConfig config = Base();
+  config.k_override = 16;
+  config.s_override = 4;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, config);
+  SketchIndex index;
+  Rng rng(kTestSeed);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(index
+                    .Add("id" + std::to_string(i),
+                         sketcher.Sketch(DenseGaussianVector(d, 1.0, &rng),
+                                         1 + static_cast<uint64_t>(i)))
+                    .ok());
+  }
+  const std::string bytes = index.Serialize();
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x5A);
+    const auto decoded = SketchIndex::Deserialize(corrupt);
+    if (decoded.ok()) {
+      EXPECT_EQ(decoded->size(), index.size()) << "byte " << pos;
+    }
+  }
+}
+
+TEST(SketchIndexTest, AllPairsDistancesSerialBasics) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  SketchIndex index;
+  Rng rng(kTestSeed);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(index
+                    .Add("p" + std::to_string(i),
+                         sketcher.Sketch(DenseGaussianVector(d, 1.0, &rng),
+                                         1 + static_cast<uint64_t>(i)))
+                    .ok());
+  }
+  const auto matrix = index.AllPairsDistances().value();
+  ASSERT_EQ(matrix.ids, index.ids());
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(matrix.at(i, i), 0.0);
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(matrix.at(i, j), matrix.at(j, i));
+      if (i != j) {
+        EXPECT_EQ(matrix.at(i, j),
+                  index.SquaredDistance("p" + std::to_string(i),
+                                        "p" + std::to_string(j))
+                      .value());
+      }
+    }
+  }
+  // Empty index: a well-formed 0x0 matrix.
+  const auto empty = SketchIndex().AllPairsDistances().value();
+  EXPECT_TRUE(empty.ids.empty());
+  EXPECT_TRUE(empty.values.empty());
+}
+
 TEST(SketchIndexTest, NearestNeighborsValidatesTopN) {
   SketchIndex index;
   const PrivateSketcher sketcher = MakeSketcherOrDie(64, Base());

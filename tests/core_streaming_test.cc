@@ -98,6 +98,66 @@ TEST(StreamingTest, StreamedSketchesInteroperateWithBatchSketches) {
   ASSERT_TRUE(dist.ok());
 }
 
+TEST(StreamingTest, FinalizeIdempotentOnEmptyStream) {
+  // Zero updates, then repeated Finalize(): every release is the identical
+  // all-noise sketch and matches the batch release of the zero vector.
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  StreamingSketcher stream = StreamingSketcher::Create(&sketcher, 11).value();
+  EXPECT_EQ(stream.num_updates(), 0);
+  const PrivateSketch first = stream.Finalize();
+  const PrivateSketch second = stream.Finalize();
+  EXPECT_EQ(first.values(), second.values());
+  EXPECT_EQ(first.Serialize(), second.Serialize());
+  EXPECT_EQ(first.values(),
+            sketcher.Sketch(std::vector<double>(d, 0.0), 11).values());
+}
+
+TEST(StreamingTest, UpdateSparseMatchesEquivalentDenseUpdateLoop) {
+  // UpdateSparse(delta) must leave the accumulator bit-identical to the
+  // dense loop Update(j, dense[j]) over every coordinate — i.e. zero
+  // weights are exact no-ops on the accumulator.
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  StreamingSketcher sparse_stream = StreamingSketcher::Create(&sketcher, 7).value();
+  StreamingSketcher dense_stream = StreamingSketcher::Create(&sketcher, 7).value();
+  Rng rng(kTestSeed);
+  const SparseVector delta = RandomSparseVector(d, 9, 1.0, &rng);
+  sparse_stream.UpdateSparse(delta);
+  const std::vector<double> dense = delta.ToDense();
+  for (int64_t j = 0; j < d; ++j) dense_stream.Update(j, dense[static_cast<size_t>(j)]);
+  EXPECT_EQ(sparse_stream.accumulator(), dense_stream.accumulator());
+  EXPECT_EQ(sparse_stream.Finalize().values(), dense_stream.Finalize().values());
+  // The dense loop counts every coordinate; UpdateSparse only the nonzeros.
+  EXPECT_EQ(sparse_stream.num_updates(), 9);
+  EXPECT_EQ(dense_stream.num_updates(), d);
+}
+
+TEST(StreamingTest, UpdateSparseEmptyDeltaIsNoOp) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  StreamingSketcher stream = StreamingSketcher::Create(&sketcher, 13).value();
+  const PrivateSketch before = stream.Finalize();
+  stream.UpdateSparse(SparseVector(d));  // all-zero vector, no entries
+  EXPECT_EQ(stream.num_updates(), 0);
+  EXPECT_EQ(stream.Finalize().values(), before.values());
+}
+
+TEST(StreamingTest, FinalizeUpdateFinalizeReleasesDifferentPrefixes) {
+  // Finalize() is a release of the *current* prefix: an update in between
+  // must change the next release (same noise, different accumulator).
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  StreamingSketcher stream = StreamingSketcher::Create(&sketcher, 21).value();
+  stream.Update(5, 1.0);
+  const PrivateSketch prefix_one = stream.Finalize();
+  stream.Update(6, 2.5);
+  const PrivateSketch prefix_two = stream.Finalize();
+  EXPECT_NE(prefix_one.values(), prefix_two.values());
+  // Re-finalizing the longer prefix is still idempotent.
+  EXPECT_EQ(prefix_two.values(), stream.Finalize().values());
+}
+
 TEST(StreamingTest, UpdatesCancelExactly) {
   const int64_t d = 64;
   const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());

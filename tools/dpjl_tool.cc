@@ -1,18 +1,25 @@
 // dpjl_tool — command-line interface to the dpjl sketch pipeline.
 //
 // Subcommands:
-//   sketch    Read a vector (CSV, one value per comma or line), release a
-//             DP sketch to a binary file.
-//   estimate  Estimate squared distance between two sketch files.
-//   inspect   Print a sketch file's public metadata.
-//   selftest  End-to-end sketch->estimate round trip in a temp directory
-//             (used by ctest).
+//   sketch        Read a vector (CSV, one value per comma or line), release
+//                 a DP sketch to a binary file.
+//   sketch-batch  Read a CSV matrix (one vector per line), release one
+//                 sketch per row across a thread pool.
+//   estimate      Estimate squared distance between two sketch files.
+//   inspect       Print a sketch file's public metadata.
+//   query         (alias: index-query) Nearest neighbors of a sketch in an
+//                 index file, optionally multi-threaded.
+//   selftest      End-to-end sketch->estimate round trip in a temp
+//                 directory (used by ctest).
 //
 // Examples:
 //   dpjl_tool sketch --input a.csv --output a.sketch --epsilon 1.0
 //       --alpha 0.2 --beta 0.05 --seed 42 --noise-seed 7001
+//   dpjl_tool sketch-batch --input rows.csv --output-prefix out/row
+//       --base-noise-seed 7001 --threads 8
 //   dpjl_tool estimate --a a.sketch --b b.sketch
 //   dpjl_tool inspect --sketch a.sketch
+//   dpjl_tool query --index corpus.idx --sketch a.sketch --threads=4
 
 #include <cmath>
 #include <cstdio>
@@ -20,10 +27,14 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/common/thread_pool.h"
+#include "src/common/timer.h"
+#include "src/core/batch_sketcher.h"
 #include "src/core/estimators.h"
 #include "src/core/sketch_index.h"
 #include "src/core/sketcher.h"
@@ -37,22 +48,37 @@ void Usage() {
          "  dpjl_tool sketch --input FILE --output FILE [--epsilon E]\n"
          "            [--delta D] [--alpha A] [--beta B] [--seed S]\n"
          "            [--noise-seed N] [--transform sjlt|fjlt|gaussian]\n"
+         "  dpjl_tool sketch-batch --input FILE --output-prefix PREFIX\n"
+         "            --base-noise-seed N [--threads T] [config flags as\n"
+         "            for sketch]  (input: one CSV vector per line; row i\n"
+         "            is written to PREFIX + i + '.sketch' with noise seed\n"
+         "            derived as splitmix64(base, i) — identical for any T)\n"
          "  dpjl_tool estimate --a FILE --b FILE\n"
          "  dpjl_tool inspect --sketch FILE\n"
          "  dpjl_tool index-add --index FILE --id NAME --sketch FILE\n"
-         "  dpjl_tool index-query --index FILE --sketch FILE [--top N]\n"
-         "  dpjl_tool selftest\n";
+         "  dpjl_tool query --index FILE --sketch FILE [--top N]\n"
+         "            [--threads T]  (alias: index-query)\n"
+         "  dpjl_tool selftest\n"
+         "flags accept both '--key value' and '--key=value'\n";
 }
 
-// Minimal --key value parser; returns false on malformed input.
+// Minimal flag parser accepting --key value and --key=value; returns false
+// on malformed input.
 bool ParseFlags(int argc, char** argv, int first,
                 std::map<std::string, std::string>* flags) {
-  for (int i = first; i < argc; i += 2) {
+  for (int i = first; i < argc; ++i) {
     const std::string key = argv[i];
-    if (key.size() < 3 || key.rfind("--", 0) != 0 || i + 1 >= argc) {
+    if (key.size() < 3 || key.rfind("--", 0) != 0) {
       return false;
     }
-    (*flags)[key.substr(2)] = argv[i + 1];
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      if (eq < 3) return false;  // "--=..." or "--x=" with empty name
+      (*flags)[key.substr(2, eq - 2)] = key.substr(eq + 1);
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    (*flags)[key.substr(2)] = argv[++i];
   }
   return true;
 }
@@ -87,6 +113,57 @@ Result<std::vector<double>> ReadCsvVector(const std::string& path) {
     return Status::InvalidArgument("input vector is empty");
   }
   return values;
+}
+
+// One vector per line, values comma-separated. Blank lines are skipped;
+// every row must have the same width.
+Result<std::vector<std::vector<double>>> ReadCsvMatrix(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open input file: " + path);
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::istringstream fields(line);
+    std::string piece;
+    while (std::getline(fields, piece, ',')) {
+      try {
+        row.push_back(std::stod(piece));
+      } catch (...) {
+        return Status::InvalidArgument("unparseable value: '" + piece + "'");
+      }
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(rows.size()) + " has " +
+          std::to_string(row.size()) + " values, expected " +
+          std::to_string(rows.front().size()));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("input matrix is empty");
+  }
+  return rows;
+}
+
+// --threads T (default 1, 0 = hardware concurrency). Returns null for the
+// serial path so commands skip pool setup entirely at T = 1.
+Result<std::unique_ptr<ThreadPool>> PoolFromFlags(
+    const std::map<std::string, std::string>& flags) {
+  const std::string raw = FlagOr(flags, "threads", "1");
+  char* parse_end = nullptr;
+  const long threads = std::strtol(raw.c_str(), &parse_end, 10);
+  if (raw.empty() || *parse_end != '\0' || threads < 0 || threads > 4096) {
+    return Status::InvalidArgument("--threads must be an integer in [0, 4096] "
+                                   "(0 = all hardware cores), got '" +
+                                   raw + "'");
+  }
+  const int n =
+      threads == 0 ? ThreadPool::DefaultThreadCount() : static_cast<int>(threads);
+  if (n <= 1) return std::unique_ptr<ThreadPool>();
+  return std::make_unique<ThreadPool>(n);
 }
 
 Status WriteFile(const std::string& path, const std::string& bytes) {
@@ -164,6 +241,68 @@ int CmdSketch(const std::map<std::string, std::string>& flags) {
   }
   std::cout << "wrote " << output << ": " << sketcher->Describe() << ", d="
             << vector->size() << " -> k=" << sketch.values().size() << "\n";
+  return 0;
+}
+
+int CmdSketchBatch(const std::map<std::string, std::string>& flags) {
+  const std::string input = FlagOr(flags, "input", "");
+  const std::string prefix = FlagOr(flags, "output-prefix", "");
+  if (input.empty() || prefix.empty()) {
+    Usage();
+    return 2;
+  }
+  auto rows = ReadCsvMatrix(input);
+  if (!rows.ok()) {
+    std::cerr << rows.status() << "\n";
+    return 1;
+  }
+  auto config = ConfigFromFlags(flags);
+  if (!config.ok()) {
+    std::cerr << config.status() << "\n";
+    return 1;
+  }
+  auto sketcher = PrivateSketcher::Create(
+      static_cast<int64_t>(rows->front().size()), *config);
+  if (!sketcher.ok()) {
+    std::cerr << sketcher.status() << "\n";
+    return 1;
+  }
+  const uint64_t base_seed = std::strtoull(
+      FlagOr(flags, "base-noise-seed", "0").c_str(), nullptr, 10);
+  if (base_seed == 0) {
+    std::cerr << "--base-noise-seed must be a non-zero secret; per-row seeds "
+                 "are derived from it and it must differ per batch\n";
+    return 2;
+  }
+  auto pool = PoolFromFlags(flags);
+  if (!pool.ok()) {
+    std::cerr << pool.status() << "\n";
+    return 1;
+  }
+  const BatchSketcher batch(&*sketcher, pool->get());
+  Timer timer;
+  auto sketches = batch.BatchSketch(*rows, base_seed);
+  const double seconds = timer.ElapsedSeconds();
+  if (!sketches.ok()) {
+    std::cerr << sketches.status() << "\n";
+    return 1;
+  }
+  for (size_t i = 0; i < sketches->size(); ++i) {
+    const std::string path = prefix + std::to_string(i) + ".sketch";
+    const Status written = WriteFile(path, (*sketches)[i].Serialize());
+    if (!written.ok()) {
+      std::cerr << written << "\n";
+      return 1;
+    }
+  }
+  std::cout << "wrote " << sketches->size() << " sketches to " << prefix
+            << "*.sketch: " << sketcher->Describe() << ", d="
+            << rows->front().size() << " -> k="
+            << sketches->front().values().size() << ", threads="
+            << (pool->get() == nullptr ? 1 : (*pool)->num_threads()) << ", "
+            << static_cast<int64_t>(static_cast<double>(sketches->size()) /
+                                    (seconds > 0 ? seconds : 1e-9))
+            << " vectors/sec\n";
   return 0;
 }
 
@@ -308,7 +447,12 @@ int CmdIndexQuery(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   const int64_t top = std::atoll(FlagOr(flags, "top", "5").c_str());
-  auto neighbors = index->NearestNeighbors(*query, top);
+  auto pool = PoolFromFlags(flags);
+  if (!pool.ok()) {
+    std::cerr << pool.status() << "\n";
+    return 1;
+  }
+  auto neighbors = index->NearestNeighbors(*query, top, pool->get());
   if (!neighbors.ok()) {
     std::cerr << neighbors.status() << "\n";
     return 1;
@@ -421,6 +565,56 @@ int CmdSelftest() {
     return 1;
   }
 
+  // Batch mode: sketch-batch over the two vectors as a 2-row matrix must
+  // reproduce, byte for byte, the serial per-item releases under the
+  // documented seed-derivation contract, at any thread count.
+  {
+    std::ifstream a_in(dir + "/a.csv");
+    std::ifstream b_in(dir + "/b.csv");
+    std::ostringstream matrix;
+    matrix << a_in.rdbuf() << "\n" << b_in.rdbuf() << "\n";
+    if (!WriteFile(dir + "/matrix.csv", matrix.str()).ok()) return 1;
+  }
+  rc = CmdSketchBatch({{"input", dir + "/matrix.csv"},
+                       {"output-prefix", dir + "/row"},
+                       {"base-noise-seed", "303"},
+                       {"threads", "2"},
+                       {"epsilon", epsilon},
+                       {"seed", seed}});
+  if (rc != 0) return rc;
+  for (int64_t i = 0; i < 2; ++i) {
+    auto batch_bytes = ReadFile(dir + "/row" + std::to_string(i) + ".sketch");
+    if (!batch_bytes.ok()) return 1;
+    auto row = ReadCsvVector(i == 0 ? dir + "/a.csv" : dir + "/b.csv");
+    if (!row.ok()) return 1;
+    const PrivateSketch serial =
+        sketcher->Sketch(*row, BatchItemNoiseSeed(303, i));
+    if (*batch_bytes != serial.Serialize()) {
+      std::cerr << "selftest FAILED: sketch-batch row " << i
+                << " differs from the serial release\n";
+      return 1;
+    }
+  }
+
+  // Multi-threaded index query must match the serial one exactly.
+  {
+    ThreadPool pool(2);
+    auto parallel_neighbors = index->NearestNeighbors(*a, 2, &pool);
+    if (!parallel_neighbors.ok() ||
+        parallel_neighbors->size() != neighbors->size()) {
+      std::cerr << "selftest FAILED: threaded query malformed\n";
+      return 1;
+    }
+    for (size_t i = 0; i < neighbors->size(); ++i) {
+      if ((*parallel_neighbors)[i].id != (*neighbors)[i].id ||
+          (*parallel_neighbors)[i].squared_distance !=
+              (*neighbors)[i].squared_distance) {
+        std::cerr << "selftest FAILED: threaded query differs from serial\n";
+        return 1;
+      }
+    }
+  }
+
   std::cout << "selftest ok\n";
   return 0;
 }
@@ -437,10 +631,11 @@ int Main(int argc, char** argv) {
     return 2;
   }
   if (command == "sketch") return CmdSketch(flags);
+  if (command == "sketch-batch") return CmdSketchBatch(flags);
   if (command == "estimate") return CmdEstimate(flags);
   if (command == "inspect") return CmdInspect(flags);
   if (command == "index-add") return CmdIndexAdd(flags);
-  if (command == "index-query") return CmdIndexQuery(flags);
+  if (command == "index-query" || command == "query") return CmdIndexQuery(flags);
   if (command == "selftest") return CmdSelftest();
   Usage();
   return 2;
