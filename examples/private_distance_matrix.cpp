@@ -6,18 +6,19 @@
 // hold for ALL C(n,2) pairs simultaneously with probability 1 - beta, the
 // shared projection is calibrated at per-pair failure probability
 // beta / C(n,2), i.e. k = Theta(alpha^-2 log(n^2/beta)) — still independent
-// of the data dimension. The example builds the full matrix from released
-// sketches and reports the worst pairwise deviation against the target.
+// of the data dimension. The example builds the full matrix through the
+// dpjl::Engine facade (sketch, insert, pool-parallel AllPairsDistances)
+// and reports the worst pairwise deviation against the target.
 //
 // Build & run:  ./build/examples/private_distance_matrix
 
 #include <cmath>
 #include <iostream>
+#include <string>
 
 #include "src/common/table_printer.h"
-#include "src/core/estimators.h"
+#include "src/core/engine.h"
 #include "src/core/flattening.h"
-#include "src/core/sketcher.h"
 #include "src/jl/dims.h"
 #include "src/linalg/vector_ops.h"
 #include "src/workload/generators.h"
@@ -38,31 +39,34 @@ int main() {
             << "  ->  all-pairs (n = " << n << ") k = " << k_all_pairs
             << "   (union bound over " << n * (n - 1) / 2 << " pairs)\n";
 
-  SketcherConfig config;
-  config.alpha = alpha;
-  config.beta = beta;
-  config.k_override = k_all_pairs;
-  config.epsilon = epsilon;
-  config.projection_seed = 0xA11;
-  auto sketcher = PrivateSketcher::Create(d, config);
-  if (!sketcher.ok()) {
-    std::cerr << sketcher.status() << "\n";
+  EngineOptions options;
+  options.sketcher.alpha = alpha;
+  options.sketcher.beta = beta;
+  options.sketcher.k_override = k_all_pairs;
+  options.sketcher.epsilon = epsilon;
+  options.sketcher.projection_seed = 0xA11;
+  options.threads = 4;  // row-parallel all-pairs scan
+  auto engine = Engine::Create(d, options);
+  if (!engine.ok()) {
+    std::cerr << engine.status() << "\n";
     return 1;
   }
-  std::cout << "construction: " << sketcher->Describe() << "\n\n";
+  std::cout << "construction: " << (*engine)->sketcher().Describe() << "\n\n";
 
-  // Parties hold points at interesting mutual distances.
+  // Parties hold points at interesting mutual distances; each publishes
+  // one sketch into the engine's index.
   Rng rng(31);
   std::vector<std::vector<double>> points;
-  std::vector<PrivateSketch> sketches;
   for (int64_t i = 0; i < n; ++i) {
     std::vector<double> p = DenseGaussianVector(d, 1.0, &rng);
     Scale(1.0 + 0.2 * static_cast<double>(i % 5), &p);
-    sketches.push_back(sketcher->Sketch(p, 500 + i));
+    DPJL_CHECK_OK(
+        (*engine)->InsertVector("party" + std::to_string(i), p, 500 + i));
     points.push_back(std::move(p));
   }
 
-  const DenseMatrix estimated = AllPairsSquaredDistances(sketches).value();
+  const SketchIndex::DistanceMatrix estimated =
+      (*engine)->AllPairsDistances().value();
 
   // Worst-case relative deviation over all pairs (noise floor removed from
   // the denominator by using the true distance, which is large here).
@@ -72,7 +76,7 @@ int main() {
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = i + 1; j < n; ++j) {
       const double truth = SquaredDistance(points[i], points[j]);
-      const double rel = std::fabs(estimated.At(i, j) - truth) / truth;
+      const double rel = std::fabs(estimated.at(i, j) - truth) / truth;
       worst_rel = std::max(worst_rel, rel);
       mean_rel += rel;
       ++pairs;

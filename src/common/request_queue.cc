@@ -1,0 +1,78 @@
+#include "src/common/request_queue.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace dpjl {
+
+RequestQueue::RequestQueue(int64_t capacity)
+    : capacity_(std::max<int64_t>(1, capacity)) {}
+
+RequestQueue::~RequestQueue() {
+  Close();
+  // Normal shutdown drains through ServeOne before destruction; anything
+  // still here would otherwise leave its caller blocked forever.
+  std::deque<Request> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    orphans.swap(requests_);
+  }
+  for (Request& request : orphans) {
+    request.handler(Status::FailedPrecondition(
+        "request queue destroyed before the request was served"));
+  }
+}
+
+Status RequestQueue::TryPush(Request request) {
+  DPJL_CHECK(request.handler != nullptr, "request handler must be non-null");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return Status::FailedPrecondition("request queue is closed");
+    }
+    if (static_cast<int64_t>(requests_.size()) >= capacity_) {
+      return Status::ResourceExhausted(
+          "request queue is full (capacity " + std::to_string(capacity_) +
+          "); retry later or raise queue_capacity");
+    }
+    requests_.push_back(std::move(request));
+  }
+  ready_.notify_one();
+  return Status::OK();
+}
+
+bool RequestQueue::ServeOne() {
+  Request request;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !requests_.empty(); });
+    if (requests_.empty()) return false;  // closed and drained
+    request = std::move(requests_.front());
+    requests_.pop_front();
+  }
+  if (Clock::now() >= request.deadline) {
+    request.handler(Status::DeadlineExceeded(
+        "request deadline passed while queued behind other work"));
+  } else {
+    request.handler(Status::OK());
+  }
+  return true;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+int64_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(requests_.size());
+}
+
+}  // namespace dpjl

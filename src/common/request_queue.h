@@ -1,0 +1,90 @@
+#ifndef DPJL_COMMON_REQUEST_QUEUE_H_
+#define DPJL_COMMON_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "src/common/status.h"
+
+namespace dpjl {
+
+/// A bounded multi-producer/multi-consumer queue of deadline-carrying
+/// requests — the admission-control primitive under the async serving
+/// facade (`dpjl::Engine`). It deliberately knows nothing about sketches:
+/// a request is just a completion handler plus a deadline.
+///
+/// Semantics:
+///  - `TryPush` never blocks. A full queue refuses the request with
+///    `kResourceExhausted` (admission control: shed load at the door
+///    instead of growing an unbounded backlog), a closed queue with
+///    `kFailedPrecondition`. On refusal the handler is NOT invoked; the
+///    caller owns failure delivery.
+///  - `ServeOne` blocks for the next request and invokes its handler
+///    exactly once: with OK when the request is popped before its
+///    deadline, with `kDeadlineExceeded` when the deadline passed while
+///    it sat in the queue. Expired requests therefore fail in O(1)
+///    without occupying a serving thread, so they cannot stall the
+///    requests behind them.
+///  - `Close` stops admissions; serving threads drain the remaining
+///    accepted requests and then see `ServeOne` return false (graceful
+///    drain — accepted work is completed, not dropped).
+///
+/// Thread safety: all methods are safe to call concurrently. Handlers run
+/// on the serving thread that popped them and must not call back into the
+/// queue's destructor.
+class RequestQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No-deadline sentinel: a time_point that never expires.
+  static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+  /// One queued unit of work. `handler` receives OK to run the work now,
+  /// or a non-OK status (`kDeadlineExceeded`, or `kFailedPrecondition` if
+  /// the queue is destroyed unserved) to fail the caller's promise.
+  struct Request {
+    Clock::time_point deadline = kNoDeadline;
+    std::function<void(const Status&)> handler;
+  };
+
+  /// `capacity` below 1 is clamped to 1.
+  explicit RequestQueue(int64_t capacity);
+
+  /// Closes the queue and fails any still-unserved requests with
+  /// `kFailedPrecondition` (normal shutdown drains via ServeOne first).
+  ~RequestQueue();
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Admits `request` or refuses it without side effects (see above).
+  /// `request.handler` must be non-null.
+  Status TryPush(Request request);
+
+  /// Serves one request (see above). Returns false when the queue is
+  /// closed and drained — the serving-thread exit signal.
+  bool ServeOne();
+
+  /// Stops admissions and wakes all blocked ServeOne callers.
+  void Close();
+
+  int64_t capacity() const { return capacity_; }
+
+  /// Number of queued (not yet popped) requests; advisory under concurrency.
+  int64_t size() const;
+
+ private:
+  const int64_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Request> requests_;
+  bool closed_ = false;
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_COMMON_REQUEST_QUEUE_H_

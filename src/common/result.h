@@ -56,9 +56,14 @@ class Result {
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
-  /// Returns the value, or `fallback` if errored.
-  T value_or(T fallback) const {
+  /// Returns the value, or `fallback` if errored. The lvalue overload
+  /// copies the stored value; call on an rvalue (`std::move(r).value_or(...)`)
+  /// to move it out instead — required for move-only `T`.
+  T value_or(T fallback) const& {
     return ok() ? *value_ : std::move(fallback);
+  }
+  T value_or(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
   }
 
  private:

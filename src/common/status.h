@@ -30,6 +30,12 @@ enum class StatusCode : int {
   kUnimplemented = 6,
   /// Serialized bytes could not be decoded.
   kDataLoss = 7,
+  /// The operation's deadline passed before it could run (e.g. an engine
+  /// request expired while queued behind slower work).
+  kDeadlineExceeded = 8,
+  /// A bounded resource is at capacity and the operation was refused
+  /// rather than queued (admission control; retry later or shed load).
+  kResourceExhausted = 9,
 };
 
 /// Returns the canonical lowercase name of `code` (e.g. "invalid_argument").
@@ -77,6 +83,12 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

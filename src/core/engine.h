@@ -1,0 +1,297 @@
+#ifndef DPJL_CORE_ENGINE_H_
+#define DPJL_CORE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/request_queue.h"
+#include "src/common/result.h"
+#include "src/common/thread_pool.h"
+#include "src/core/batch_sketcher.h"
+#include "src/core/sketch_index.h"
+#include "src/core/sketcher.h"
+#include "src/linalg/sparse_vector.h"
+
+namespace dpjl {
+
+/// Everything an Engine needs, in one struct: the sketcher construction,
+/// the threading/sharding layout, and the serving policy. This is the one
+/// config path shared by dpjl_tool, the examples and the tests — `Parse`
+/// consumes the CLI's `--key value` flag map and `ToString` emits the
+/// canonical flag form, so there is exactly one place flag names and
+/// domains are defined.
+struct EngineOptions {
+  /// Sketch construction (projection family, quality, privacy budget,
+  /// public projection seed).
+  SketcherConfig sketcher;
+
+  /// ThreadPool size for batch sketching and shard-parallel queries:
+  /// 0 = hardware concurrency, 1 = fully serial (no pool at all).
+  int threads = 1;
+
+  /// Shard count of the owned SketchIndex.
+  int num_shards = SketchIndex::kDefaultShards;
+
+  /// Threads draining the async request queue. Each can independently run
+  /// shard-parallel queries on the shared pool.
+  int serving_threads = 2;
+
+  /// Bound on queued (admitted but not yet served) async requests; beyond
+  /// it Submit* fails fast with kResourceExhausted.
+  int64_t queue_capacity = 256;
+
+  /// Default per-request deadline in milliseconds for Submit* calls that
+  /// do not pass their own; 0 means no deadline.
+  int64_t default_deadline_ms = 0;
+
+  /// Parses the recognized keys out of a `--key value` flag map (the form
+  /// dpjl_tool already builds): epsilon, delta, alpha, beta, seed,
+  /// transform, k-override, s-override, noise, placement, threads, shards,
+  /// serving-threads, queue-capacity, deadline-ms. Unrecognized keys are
+  /// ignored so callers can keep their own flags (e.g. --input) in the
+  /// same map; recognized keys with malformed or out-of-domain values are
+  /// errors.
+  static Result<EngineOptions> Parse(
+      const std::map<std::string, std::string>& flags);
+
+  /// Canonical `--key=value` rendering of every recognized key; feeding it
+  /// back through Parse reproduces the options.
+  std::string ToString() const;
+
+  /// Domain check for the non-sketcher fields (the sketcher config is
+  /// validated by PrivateSketcher::Create).
+  Status Validate() const;
+};
+
+namespace internal {
+
+/// Shared slot an async request fulfills exactly once and its EngineFuture
+/// waits on.
+template <typename T>
+struct FutureState {
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::optional<Result<T>> result;
+
+  void Set(Result<T> value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      result.emplace(std::move(value));
+    }
+    ready.notify_all();
+  }
+};
+
+}  // namespace internal
+
+/// Future-like handle returned by Engine::Submit*. Copyable; all copies
+/// observe the same result. The result is a Result<T>: the computed value,
+/// or the status the request failed with (`kDeadlineExceeded` when it
+/// expired in the queue, `kResourceExhausted` when it was refused at
+/// admission, or the underlying operation's own error).
+template <typename T>
+class EngineFuture {
+ public:
+  EngineFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the result is available; never blocks.
+  bool Ready() const {
+    DPJL_CHECK(valid(), "EngineFuture is default-constructed");
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->result.has_value();
+  }
+
+  /// Blocks until the result is available and returns it.
+  Result<T> Get() const {
+    DPJL_CHECK(valid(), "EngineFuture is default-constructed");
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->ready.wait(lock, [this] { return state_->result.has_value(); });
+    return *state_->result;
+  }
+
+ private:
+  friend class Engine;
+  explicit EngineFuture(std::shared_ptr<internal::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// The library's serving facade: one object owning the sketcher, batch
+/// sketcher, thread pool, sketch index and request queue, replacing the
+/// hand-wiring every caller previously repeated. It exposes the existing
+/// synchronous calls unchanged in meaning, plus an async submission API
+/// (`SubmitSketch` / `SubmitQuery` / `SubmitEstimate`) backed by a bounded
+/// RequestQueue with per-request deadlines, so the index serves many
+/// concurrent callers instead of one blocking query at a time.
+///
+/// Determinism contract (inherited from the layers below): every engine
+/// query, sync or async, returns byte-identical results to the direct
+/// SketchIndex/estimator call, for any `threads`, `num_shards` and
+/// `serving_threads` — the engine adds scheduling, never different math.
+///
+/// Thread safety: the whole public API is safe to call concurrently.
+/// `Insert`/`LoadIndex` take the write side of an index lock; queries take
+/// the read side, so lookups proceed concurrently with each other and
+/// serialize only against mutation.
+class Engine {
+ public:
+  /// Use the options' default_deadline_ms for this request. Deliberately
+  /// INT64_MIN rather than -1 so that a budget-propagating caller's
+  /// `total - elapsed` arithmetic can never collide with the sentinel:
+  /// every plausibly computed negative budget is "expired on arrival".
+  static constexpr int64_t kDefaultDeadline =
+      std::numeric_limits<int64_t>::min();
+  /// No deadline for this request (also the meaning of
+  /// default_deadline_ms == 0).
+  static constexpr int64_t kNoDeadline = 0;
+
+  /// Full engine: validates `options`, builds the sketcher for input
+  /// dimension `d`, the pool, the index and the serving threads.
+  static Result<std::unique_ptr<Engine>> Create(int64_t d,
+                                                const EngineOptions& options);
+
+  /// Serving-only engine over an existing (e.g. deserialized) index: no
+  /// sketcher is built, so Sketch/SketchBatch/SubmitSketch fail with
+  /// kFailedPrecondition, while every query path works. This is the shape
+  /// dpjl_tool's query command uses — it holds released sketches only.
+  static Result<std::unique_ptr<Engine>> FromIndex(SketchIndex index,
+                                                   const EngineOptions& options);
+
+  /// Closes the queue and joins the serving threads after they drain the
+  /// accepted requests — every returned future is fulfilled.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const EngineOptions& options() const { return options_; }
+  bool has_sketcher() const { return sketcher_.has_value(); }
+  /// Aborts if this is a serving-only engine (see FromIndex).
+  const PrivateSketcher& sketcher() const;
+  /// Resolved pool parallelism (1 when running serial).
+  int query_threads() const { return pool_ ? pool_->num_threads() : 1; }
+
+  // --- synchronous API (same semantics as the underlying components) ---
+
+  /// See PrivateSketcher::Sketch / SketchSparse. Aborts on a serving-only
+  /// engine.
+  PrivateSketch Sketch(const std::vector<double>& x, uint64_t noise_seed) const;
+  PrivateSketch SketchSparse(const SparseVector& x, uint64_t noise_seed) const;
+
+  /// See BatchSketcher::BatchSketch: item i uses
+  /// BatchItemNoiseSeed(base_noise_seed, i), bit-identical at any thread
+  /// count.
+  Result<std::vector<PrivateSketch>> SketchBatch(
+      const std::vector<std::vector<double>>& xs,
+      uint64_t base_noise_seed) const;
+
+  /// Inserts into the owned index (exclusive; concurrent queries wait).
+  Status Insert(std::string id, PrivateSketch sketch);
+
+  /// Convenience: sketch then insert. Aborts on a serving-only engine.
+  Status InsertVector(std::string id, const std::vector<double>& x,
+                      uint64_t noise_seed);
+
+  int64_t index_size() const;
+  /// Ids in insertion order (copied under the read lock).
+  std::vector<std::string> ids() const;
+  std::string SerializeIndex() const;
+
+  Result<std::vector<SketchIndex::Neighbor>> NearestNeighbors(
+      const PrivateSketch& query, int64_t top_n) const;
+  Result<std::vector<SketchIndex::Neighbor>> RangeQuery(
+      const PrivateSketch& query, double radius_sq) const;
+  Result<SketchIndex::DistanceMatrix> AllPairsDistances() const;
+  Result<double> SquaredDistance(const std::string& id_a,
+                                 const std::string& id_b) const;
+
+  // --- asynchronous API ---
+  //
+  // Each Submit* enqueues the request and returns immediately. `deadline_ms`
+  // is this request's budget from submission: > 0 sets a deadline,
+  // kNoDeadline (0) disables it, kDefaultDeadline (INT64_MIN) uses
+  // options().default_deadline_ms, and any other negative value means the
+  // caller's budget is already exhausted — the request is admitted but
+  // fails with kDeadlineExceeded (so budget-propagating callers can pass
+  // `total - elapsed` verbatim). A request whose deadline passes while
+  // queued fails with kDeadlineExceeded without occupying a serving thread;
+  // a full queue refuses admission with kResourceExhausted (the returned
+  // future is already Ready).
+
+  EngineFuture<PrivateSketch> SubmitSketch(std::vector<double> x,
+                                           uint64_t noise_seed,
+                                           int64_t deadline_ms = kDefaultDeadline);
+
+  EngineFuture<std::vector<SketchIndex::Neighbor>> SubmitQuery(
+      PrivateSketch query, int64_t top_n,
+      int64_t deadline_ms = kDefaultDeadline);
+
+  /// Squared-distance estimate between two stored ids (kNotFound if absent).
+  EngineFuture<double> SubmitEstimate(std::string id_a, std::string id_b,
+                                      int64_t deadline_ms = kDefaultDeadline);
+
+  /// Runs an arbitrary task on a serving thread under the same deadline and
+  /// admission semantics; the future resolves to true on OK. Escape hatch
+  /// for work that should share the serving lanes (snapshots, warmup) and
+  /// the lever the concurrency tests use to hold a lane deterministically.
+  EngineFuture<bool> SubmitTask(std::function<Status()> task,
+                                int64_t deadline_ms = kDefaultDeadline);
+
+ private:
+  Engine(EngineOptions options, std::optional<PrivateSketcher> sketcher,
+         SketchIndex index);
+
+  RequestQueue::Clock::time_point DeadlineFor(int64_t deadline_ms) const;
+
+  /// Shared Submit plumbing: wraps `compute` in a queue request that
+  /// fulfills `state` with either the computed result or the queue's
+  /// failure status.
+  /// Spawns the serving threads on the first async submission (sync-only
+  /// users — most CLI runs — never pay for idle lanes). Thread-safe.
+  void EnsureServing();
+
+  template <typename T>
+  EngineFuture<T> Submit(std::function<Result<T>()> compute,
+                         int64_t deadline_ms) {
+    EnsureServing();
+    auto state = std::make_shared<internal::FutureState<T>>();
+    RequestQueue::Request request;
+    request.deadline = DeadlineFor(deadline_ms);
+    request.handler = [state, compute = std::move(compute)](const Status& admitted) {
+      state->Set(admitted.ok() ? compute() : Result<T>(admitted));
+    };
+    const Status pushed = queue_.TryPush(std::move(request));
+    if (!pushed.ok()) state->Set(pushed);
+    return EngineFuture<T>(std::move(state));
+  }
+
+  const EngineOptions options_;
+  std::optional<PrivateSketcher> sketcher_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::optional<BatchSketcher> batcher_;
+
+  mutable std::shared_mutex index_mutex_;
+  SketchIndex index_;
+
+  RequestQueue queue_;
+  std::once_flag servers_started_;
+  std::vector<std::thread> servers_;
+};
+
+}  // namespace dpjl
+
+#endif  // DPJL_CORE_ENGINE_H_

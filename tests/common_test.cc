@@ -34,6 +34,19 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "not_found");
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "unimplemented");
   EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "data_loss");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "resource_exhausted");
+}
+
+TEST(StatusTest, ServingCodeFactories) {
+  const Status expired = Status::DeadlineExceeded("request expired in queue");
+  EXPECT_EQ(expired.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(expired.ToString(), "deadline_exceeded: request expired in queue");
+  const Status full = Status::ResourceExhausted("queue full");
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(full.ToString(), "resource_exhausted: queue full");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -107,6 +120,20 @@ TEST(ResultTest, MoveOnlyValue) {
   ASSERT_TRUE(r.ok());
   std::unique_ptr<int> v = std::move(r).value();
   EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, ValueOrMovesFromRvalueResult) {
+  // The rvalue overload must move the stored value out, so it compiles (and
+  // works) for move-only payloads where the copying lvalue overload cannot.
+  Result<std::unique_ptr<int>> ok(std::make_unique<int>(5));
+  std::unique_ptr<int> v = std::move(ok).value_or(nullptr);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 5);
+
+  Result<std::unique_ptr<int>> err(Status::NotFound("missing"));
+  std::unique_ptr<int> fb = std::move(err).value_or(std::make_unique<int>(9));
+  ASSERT_NE(fb, nullptr);
+  EXPECT_EQ(*fb, 9);
 }
 
 TEST(TablePrinterTest, AlignsColumns) {

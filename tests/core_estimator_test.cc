@@ -341,6 +341,43 @@ TEST(EstimatorTest, ChebyshevHalfWidth) {
   EXPECT_DOUBLE_EQ(ChebyshevHalfWidth(0.0, 0.5), 0.0);
 }
 
+TEST(EstimatorTest, ChebyshevHalfWidthRejectsOutOfDomainArguments) {
+  // failure_prob must lie strictly inside (0, 1) and variance must be
+  // non-negative; the half-width silently returned for a bad domain would
+  // be a meaningless (inf/nan) confidence claim, so the check is fatal.
+  EXPECT_DEATH((void)ChebyshevHalfWidth(1.0, 0.0), "failure probability");
+  EXPECT_DEATH((void)ChebyshevHalfWidth(1.0, 1.0), "failure probability");
+  EXPECT_DEATH((void)ChebyshevHalfWidth(1.0, -0.25), "failure probability");
+  EXPECT_DEATH((void)ChebyshevHalfWidth(1.0, 1.5), "failure probability");
+  EXPECT_DEATH((void)ChebyshevHalfWidth(-1e-9, 0.5), "variance");
+}
+
+TEST(EstimatorTest, CosineSimilarityFailsWhenNormEstimateNonPositive) {
+  // Two compatible all-zero sketches whose metadata carries a positive
+  // noise center: both norm estimates are exactly -noise_center < 0, the
+  // deterministic version of "the vectors drowned in the noise floor".
+  SketchMetadata meta;
+  meta.transform = TransformKind::kSjltBlock;
+  meta.input_dim = 8;
+  meta.output_dim = 4;
+  meta.sparsity = 2;
+  meta.projection_seed = 77;
+  meta.noise_center = 1.0;
+  const PrivateSketch a(std::vector<double>(4, 0.0), meta);
+  const PrivateSketch b(std::vector<double>(4, 0.0), meta);
+  EXPECT_DOUBLE_EQ(EstimateSquaredNorm(a), -1.0);
+  const auto cosine = EstimateCosineSimilarity(a, b);
+  ASSERT_FALSE(cosine.ok());
+  EXPECT_EQ(cosine.status().code(), StatusCode::kFailedPrecondition);
+
+  // One-sided failure: a genuine norm on one side does not rescue a
+  // below-floor norm on the other.
+  SketchMetadata healthy = meta;
+  healthy.noise_center = 0.0;
+  const PrivateSketch c({2.0, 0.0, 0.0, 0.0}, healthy);
+  ASSERT_FALSE(EstimateCosineSimilarity(c, b).ok());
+}
+
 TEST(EstimatorTest, ChebyshevIntervalCovers) {
   // Empirical coverage of the Chebyshev interval must be at least 1 - p.
   const int64_t d = 64;

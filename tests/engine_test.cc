@@ -1,0 +1,598 @@
+// Serving-layer suite: RequestQueue semantics (admission control, deadline
+// expiry, drain-on-close), EngineOptions as the single config path, and the
+// Engine facade's contract that sync and async results are byte-identical
+// to the direct SketchIndex/estimator calls at any thread count. The
+// concurrency tests here also run under ThreadSanitizer in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/request_queue.h"
+#include "src/core/engine.h"
+#include "src/core/estimators.h"
+#include "src/workload/generators.h"
+#include "tests/test_util.h"
+
+namespace dpjl {
+namespace {
+
+using testing::kTestSeed;
+using testing::MakeSketcherOrDie;
+
+const int kThreadCounts[] = {1, 2, 7};
+
+SketcherConfig BaseSketcher() {
+  SketcherConfig c;
+  c.k_override = 64;
+  c.s_override = 8;
+  c.epsilon = 2.0;
+  c.projection_seed = kTestSeed;
+  return c;
+}
+
+EngineOptions BaseOptions() {
+  EngineOptions options;
+  options.sketcher = BaseSketcher();
+  options.num_shards = 4;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// RequestQueue
+
+TEST(RequestQueueTest, ServesInFifoOrderWithOkBeforeDeadline) {
+  RequestQueue queue(8);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(queue
+                    .TryPush({RequestQueue::kNoDeadline,
+                              [&order, i](const Status& status) {
+                                EXPECT_TRUE(status.ok()) << status;
+                                order.push_back(i);
+                              }})
+                    .ok());
+  }
+  EXPECT_EQ(queue.size(), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(queue.ServeOne());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(queue.size(), 0);
+}
+
+TEST(RequestQueueTest, ExpiredRequestFailsWithDeadlineExceeded) {
+  RequestQueue queue(4);
+  Status seen;
+  ASSERT_TRUE(queue
+                  .TryPush({RequestQueue::Clock::now() -
+                                std::chrono::milliseconds(1),
+                            [&seen](const Status& status) { seen = status; }})
+                  .ok());
+  EXPECT_TRUE(queue.ServeOne());
+  EXPECT_EQ(seen.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RequestQueueTest, FullQueueRefusesWithResourceExhaustedWithoutSideEffects) {
+  RequestQueue queue(2);
+  const auto noop = [](const Status&) {};
+  ASSERT_TRUE(queue.TryPush({RequestQueue::kNoDeadline, noop}).ok());
+  ASSERT_TRUE(queue.TryPush({RequestQueue::kNoDeadline, noop}).ok());
+  bool refused_handler_ran = false;
+  const Status refused = queue.TryPush(
+      {RequestQueue::kNoDeadline,
+       [&refused_handler_ran](const Status&) { refused_handler_ran = true; }});
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(refused_handler_ran);
+  EXPECT_EQ(queue.size(), 2);
+  EXPECT_TRUE(queue.ServeOne());
+  EXPECT_TRUE(queue.ServeOne());
+}
+
+TEST(RequestQueueTest, CloseStopsAdmissionsAndDrainsAcceptedWork) {
+  RequestQueue queue(4);
+  int served = 0;
+  const auto count = [&served](const Status& status) {
+    EXPECT_TRUE(status.ok());
+    ++served;
+  };
+  ASSERT_TRUE(queue.TryPush({RequestQueue::kNoDeadline, count}).ok());
+  ASSERT_TRUE(queue.TryPush({RequestQueue::kNoDeadline, count}).ok());
+  queue.Close();
+  EXPECT_EQ(queue.TryPush({RequestQueue::kNoDeadline, count}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(queue.ServeOne());
+  EXPECT_TRUE(queue.ServeOne());
+  EXPECT_FALSE(queue.ServeOne());  // closed and drained
+  EXPECT_EQ(served, 2);
+}
+
+TEST(RequestQueueTest, DestructorFailsRequestsNobodyServed) {
+  Status seen;
+  {
+    RequestQueue queue(2);
+    ASSERT_TRUE(queue
+                    .TryPush({RequestQueue::kNoDeadline,
+                              [&seen](const Status& status) { seen = status; }})
+                    .ok());
+  }
+  EXPECT_EQ(seen.code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// EngineOptions: the one config path
+
+TEST(EngineOptionsTest, ParseAppliesRecognizedKeysAndIgnoresOthers) {
+  const std::map<std::string, std::string> flags = {
+      {"epsilon", "4.5"},        {"delta", "1e-6"},
+      {"alpha", "0.15"},         {"beta", "0.01"},
+      {"seed", "12345"},         {"transform", "fjlt"},
+      {"threads", "0"},          {"shards", "32"},
+      {"serving-threads", "3"},  {"queue-capacity", "17"},
+      {"deadline-ms", "250"},    {"input", "ignored-tool-flag.csv"}};
+  const auto options = EngineOptions::Parse(flags);
+  ASSERT_TRUE(options.ok()) << options.status();
+  EXPECT_DOUBLE_EQ(options->sketcher.epsilon, 4.5);
+  EXPECT_DOUBLE_EQ(options->sketcher.delta, 1e-6);
+  EXPECT_DOUBLE_EQ(options->sketcher.alpha, 0.15);
+  EXPECT_DOUBLE_EQ(options->sketcher.beta, 0.01);
+  EXPECT_EQ(options->sketcher.projection_seed, 12345u);
+  EXPECT_EQ(options->sketcher.transform, TransformKind::kFjlt);
+  EXPECT_EQ(options->threads, 0);
+  EXPECT_EQ(options->num_shards, 32);
+  EXPECT_EQ(options->serving_threads, 3);
+  EXPECT_EQ(options->queue_capacity, 17);
+  EXPECT_EQ(options->default_deadline_ms, 250);
+}
+
+TEST(EngineOptionsTest, ParseRejectsMalformedOrOutOfDomainValues) {
+  const std::vector<std::map<std::string, std::string>> bad = {
+      {{"epsilon", "abc"}},        {{"threads", "-1"}},
+      {{"threads", "10000"}},      {{"shards", "0"}},
+      {{"serving-threads", "0"}},  {{"queue-capacity", "0"}},
+      {{"deadline-ms", "-5"}},     {{"transform", "bogus"}},
+      {{"seed", "-3"}},            {{"k-override", "-1"}},
+      {{"noise", "cauchy"}},       {{"placement", "sideways"}}};
+  for (const auto& flags : bad) {
+    const auto options = EngineOptions::Parse(flags);
+    EXPECT_FALSE(options.ok()) << flags.begin()->first;
+    EXPECT_EQ(options.status().code(), StatusCode::kInvalidArgument)
+        << flags.begin()->first;
+  }
+}
+
+TEST(EngineOptionsTest, ToStringParseRoundTrip) {
+  EngineOptions options;
+  options.sketcher.transform = TransformKind::kFjlt;
+  // Awkward decimals on purpose: the rendering must be bit-exact under
+  // re-parsing, not merely 6-digit close.
+  options.sketcher.alpha = 0.1234567891234567;
+  options.sketcher.beta = 0.125;
+  options.sketcher.k_override = 64;
+  options.sketcher.s_override = 8;
+  options.sketcher.epsilon = 1.0 / 3.0;
+  options.sketcher.delta = 1e-9;
+  options.sketcher.noise_selection = SketcherConfig::NoiseSelection::kGaussian;
+  options.sketcher.placement = NoisePlacement::kPostHadamard;
+  options.sketcher.projection_seed = 99;
+  options.threads = 7;
+  options.num_shards = 5;
+  options.serving_threads = 4;
+  options.queue_capacity = 33;
+  options.default_deadline_ms = 1500;
+
+  // Re-read the canonical "--key=value ..." rendering through a flag map.
+  std::map<std::string, std::string> flags;
+  std::istringstream stream(options.ToString());
+  std::string token;
+  while (stream >> token) {
+    ASSERT_EQ(token.rfind("--", 0), 0u) << token;
+    const size_t eq = token.find('=');
+    ASSERT_NE(eq, std::string::npos) << token;
+    flags[token.substr(2, eq - 2)] = token.substr(eq + 1);
+  }
+  const auto parsed = EngineOptions::Parse(flags);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->sketcher.transform, options.sketcher.transform);
+  EXPECT_DOUBLE_EQ(parsed->sketcher.alpha, options.sketcher.alpha);
+  EXPECT_DOUBLE_EQ(parsed->sketcher.beta, options.sketcher.beta);
+  EXPECT_EQ(parsed->sketcher.k_override, options.sketcher.k_override);
+  EXPECT_EQ(parsed->sketcher.s_override, options.sketcher.s_override);
+  EXPECT_DOUBLE_EQ(parsed->sketcher.epsilon, options.sketcher.epsilon);
+  EXPECT_DOUBLE_EQ(parsed->sketcher.delta, options.sketcher.delta);
+  EXPECT_EQ(parsed->sketcher.noise_selection, options.sketcher.noise_selection);
+  EXPECT_EQ(parsed->sketcher.placement, options.sketcher.placement);
+  EXPECT_EQ(parsed->sketcher.projection_seed, options.sketcher.projection_seed);
+  EXPECT_EQ(parsed->threads, options.threads);
+  EXPECT_EQ(parsed->num_shards, options.num_shards);
+  EXPECT_EQ(parsed->serving_threads, options.serving_threads);
+  EXPECT_EQ(parsed->queue_capacity, options.queue_capacity);
+  EXPECT_EQ(parsed->default_deadline_ms, options.default_deadline_ms);
+}
+
+// ---------------------------------------------------------------------------
+// Engine equivalence: the facade must add scheduling, never different math.
+
+struct DirectReference {
+  PrivateSketcher sketcher;
+  SketchIndex index;
+  std::vector<std::vector<double>> xs;
+  PrivateSketch probe;
+};
+
+DirectReference MakeReference(int64_t n) {
+  const int64_t d = 64;
+  DirectReference ref{MakeSketcherOrDie(d, BaseSketcher()), SketchIndex(4), {},
+                      PrivateSketch()};
+  Rng rng(kTestSeed);
+  for (int64_t i = 0; i < n; ++i) {
+    ref.xs.push_back(DenseGaussianVector(d, 1.0, &rng));
+    EXPECT_TRUE(ref.index
+                    .Add("doc-" + std::to_string((i * 37) % 101),
+                         ref.sketcher.Sketch(ref.xs.back(),
+                                             500 + static_cast<uint64_t>(i)))
+                    .ok());
+  }
+  ref.probe = ref.sketcher.Sketch(DenseGaussianVector(d, 1.0, &rng), 999);
+  return ref;
+}
+
+void ExpectSameNeighbors(const std::vector<SketchIndex::Neighbor>& actual,
+                         const std::vector<SketchIndex::Neighbor>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].id, expected[i].id) << "rank " << i;
+    EXPECT_EQ(actual[i].squared_distance, expected[i].squared_distance)
+        << "rank " << i;
+  }
+}
+
+std::unique_ptr<Engine> MakeEngineOrDie(int64_t d, const EngineOptions& options) {
+  auto engine = Engine::Create(d, options);
+  DPJL_CHECK(engine.ok(), engine.status().ToString());
+  return std::move(engine).value();
+}
+
+TEST(EngineTest, QueriesBitIdenticalToDirectIndexAcrossThreadCounts) {
+  const DirectReference ref = MakeReference(41);
+  const auto reference_nn = ref.index.NearestNeighbors(ref.probe, 7).value();
+  const double radius = reference_nn.back().squared_distance;
+  const auto reference_range = ref.index.RangeQuery(ref.probe, radius).value();
+  const auto reference_matrix = ref.index.AllPairsDistances().value();
+
+  for (int threads : kThreadCounts) {
+    EngineOptions options = BaseOptions();
+    options.threads = threads;
+    std::unique_ptr<Engine> engine = MakeEngineOrDie(64, options);
+    // Same sketches, inserted through the facade.
+    for (size_t i = 0; i < ref.xs.size(); ++i) {
+      ASSERT_TRUE(engine
+                      ->InsertVector("doc-" + std::to_string((i * 37) % 101),
+                                     ref.xs[i], 500 + static_cast<uint64_t>(i))
+                      .ok());
+    }
+    // The engine's own sketching is byte-identical to the direct sketcher.
+    EXPECT_EQ(engine->Sketch(ref.xs[0], 500).Serialize(),
+              ref.sketcher.Sketch(ref.xs[0], 500).Serialize());
+
+    ExpectSameNeighbors(engine->NearestNeighbors(ref.probe, 7).value(),
+                        reference_nn);
+    ExpectSameNeighbors(engine->RangeQuery(ref.probe, radius).value(),
+                        reference_range);
+    const auto matrix = engine->AllPairsDistances().value();
+    EXPECT_EQ(matrix.ids, reference_matrix.ids);
+    EXPECT_EQ(matrix.values, reference_matrix.values);
+
+    const auto direct = ref.index.SquaredDistance("doc-0", "doc-37");
+    const auto via_engine = engine->SquaredDistance("doc-0", "doc-37");
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(via_engine.ok());
+    EXPECT_EQ(*via_engine, *direct);
+
+    EXPECT_EQ(engine->SerializeIndex(), ref.index.Serialize());
+  }
+}
+
+TEST(EngineTest, AsyncResultsByteIdenticalToSyncCalls) {
+  const DirectReference ref = MakeReference(23);
+  for (int threads : kThreadCounts) {
+    EngineOptions options = BaseOptions();
+    options.threads = threads;
+    options.serving_threads = 3;
+    std::unique_ptr<Engine> engine = MakeEngineOrDie(64, options);
+    for (size_t i = 0; i < ref.xs.size(); ++i) {
+      ASSERT_TRUE(engine
+                      ->InsertVector("doc-" + std::to_string((i * 37) % 101),
+                                     ref.xs[i], 500 + static_cast<uint64_t>(i))
+                      .ok());
+    }
+
+    const auto query_future = engine->SubmitQuery(ref.probe, 5);
+    const auto estimate_future = engine->SubmitEstimate("doc-0", "doc-37");
+    const auto sketch_future = engine->SubmitSketch(ref.xs[0], 4242);
+
+    const auto async_nn = query_future.Get();
+    ASSERT_TRUE(async_nn.ok()) << async_nn.status();
+    ExpectSameNeighbors(*async_nn, engine->NearestNeighbors(ref.probe, 5).value());
+
+    const auto async_estimate = estimate_future.Get();
+    ASSERT_TRUE(async_estimate.ok()) << async_estimate.status();
+    EXPECT_EQ(*async_estimate, engine->SquaredDistance("doc-0", "doc-37").value());
+
+    const auto async_sketch = sketch_future.Get();
+    ASSERT_TRUE(async_sketch.ok()) << async_sketch.status();
+    EXPECT_EQ(async_sketch->Serialize(),
+              ref.sketcher.Sketch(ref.xs[0], 4242).Serialize());
+  }
+}
+
+TEST(EngineTest, SketchBatchHonorsBatchItemNoiseSeedContract) {
+  const DirectReference ref = MakeReference(9);
+  EngineOptions options = BaseOptions();
+  options.threads = 3;
+  std::unique_ptr<Engine> engine = MakeEngineOrDie(64, options);
+  const uint64_t base = 0xBA5E;
+  const auto batch = engine->SketchBatch(ref.xs, base);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->size(), ref.xs.size());
+  for (size_t i = 0; i < ref.xs.size(); ++i) {
+    EXPECT_EQ(
+        (*batch)[i].Serialize(),
+        ref.sketcher
+            .Sketch(ref.xs[i], BatchItemNoiseSeed(base, static_cast<int64_t>(i)))
+            .Serialize());
+  }
+}
+
+TEST(EngineTest, FromIndexServesDeserializedIndexAndRefusesSketching) {
+  const DirectReference ref = MakeReference(17);
+  auto decoded = SketchIndex::Deserialize(ref.index.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EngineOptions options = BaseOptions();
+  options.threads = 2;
+  auto engine = Engine::FromIndex(std::move(decoded).value(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_FALSE((*engine)->has_sketcher());
+
+  ExpectSameNeighbors((*engine)->NearestNeighbors(ref.probe, 5).value(),
+                      ref.index.NearestNeighbors(ref.probe, 5).value());
+
+  const auto batch = (*engine)->SketchBatch(ref.xs, 1);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kFailedPrecondition);
+  const auto sketch = (*engine)->SubmitSketch(ref.xs[0], 1).Get();
+  ASSERT_FALSE(sketch.ok());
+  EXPECT_EQ(sketch.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, HugeDeadlineBudgetMeansNoExpiryNotInstantExpiry) {
+  // A deadline budget beyond what the clock can represent must saturate to
+  // "never expires", not overflow into the past.
+  const DirectReference ref = MakeReference(5);
+  EngineOptions options = BaseOptions();
+  options.default_deadline_ms = std::numeric_limits<int64_t>::max() / 2;
+  std::unique_ptr<Engine> engine = MakeEngineOrDie(64, options);
+  for (size_t i = 0; i < ref.xs.size(); ++i) {
+    ASSERT_TRUE(engine
+                    ->InsertVector("doc-" + std::to_string(i), ref.xs[i],
+                                   500 + static_cast<uint64_t>(i))
+                    .ok());
+  }
+  const auto result = engine->SubmitQuery(ref.probe, 3).Get();
+  ASSERT_TRUE(result.ok()) << result.status();
+}
+
+TEST(EngineTest, NegativeBudgetIsExpiredOnArrival) {
+  // The use-the-default sentinel is INT64_MIN precisely so that computed
+  // negative budgets (total - elapsed, including the tempting -1) are a
+  // caller's exhausted budget and fail even with idle serving lanes.
+  const DirectReference ref = MakeReference(5);
+  std::unique_ptr<Engine> engine = MakeEngineOrDie(64, BaseOptions());
+  for (size_t i = 0; i < ref.xs.size(); ++i) {
+    ASSERT_TRUE(engine
+                    ->InsertVector("doc-" + std::to_string(i), ref.xs[i],
+                                   500 + static_cast<uint64_t>(i))
+                    .ok());
+  }
+  for (const int64_t budget : {int64_t{-1}, int64_t{-7}}) {
+    const auto expired = engine->SubmitQuery(ref.probe, 3, budget).Get();
+    ASSERT_FALSE(expired.ok());
+    EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded) << budget;
+  }
+}
+
+TEST(EngineTest, SubmitEstimatePropagatesNotFound) {
+  EngineOptions options = BaseOptions();
+  std::unique_ptr<Engine> engine = MakeEngineOrDie(64, options);
+  const auto estimate = engine->SubmitEstimate("nope", "also-nope").Get();
+  ASSERT_FALSE(estimate.ok());
+  EXPECT_EQ(estimate.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline and admission-control semantics under load. These stage the
+// scenarios deterministically by parking the single serving lane on a gate
+// task the test controls.
+
+TEST(EngineTest, ExpiredQueuedRequestFailsWithoutStallingOthers) {
+  const DirectReference ref = MakeReference(11);
+  EngineOptions options = BaseOptions();
+  options.serving_threads = 1;
+  options.queue_capacity = 16;
+  std::unique_ptr<Engine> engine = MakeEngineOrDie(64, options);
+  for (size_t i = 0; i < ref.xs.size(); ++i) {
+    ASSERT_TRUE(engine
+                    ->InsertVector("doc-" + std::to_string(i), ref.xs[i],
+                                   500 + static_cast<uint64_t>(i))
+                    .ok());
+  }
+  const auto sync = engine->NearestNeighbors(ref.probe, 3).value();
+
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_future(release.get_future());
+  const auto gate = engine->SubmitTask([&entered, release_future] {
+    entered.set_value();
+    release_future.wait();
+    return Status::OK();
+  });
+  entered.get_future().wait();  // the lane is now provably busy
+
+  const auto submit_time = RequestQueue::Clock::now();
+  const auto doomed = engine->SubmitQuery(ref.probe, 3, /*deadline_ms=*/1);
+  const auto patient =
+      engine->SubmitQuery(ref.probe, 3, Engine::kNoDeadline);
+  // Let the 1 ms deadline lapse while both requests sit in the queue, then
+  // reopen the lane.
+  std::this_thread::sleep_until(submit_time + std::chrono::milliseconds(20));
+  release.set_value();
+
+  const auto doomed_result = doomed.Get();
+  ASSERT_FALSE(doomed_result.ok());
+  EXPECT_EQ(doomed_result.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The request behind the expired one is served normally and exactly.
+  const auto patient_result = patient.Get();
+  ASSERT_TRUE(patient_result.ok()) << patient_result.status();
+  ExpectSameNeighbors(*patient_result, sync);
+  EXPECT_TRUE(gate.Get().ok());
+}
+
+TEST(EngineTest, SaturatedQueueRejectsAtAdmissionWithoutStallingInFlight) {
+  const DirectReference ref = MakeReference(11);
+  EngineOptions options = BaseOptions();
+  options.serving_threads = 1;
+  options.queue_capacity = 2;
+  std::unique_ptr<Engine> engine = MakeEngineOrDie(64, options);
+  for (size_t i = 0; i < ref.xs.size(); ++i) {
+    ASSERT_TRUE(engine
+                    ->InsertVector("doc-" + std::to_string(i), ref.xs[i],
+                                   500 + static_cast<uint64_t>(i))
+                    .ok());
+  }
+  const auto sync = engine->NearestNeighbors(ref.probe, 3).value();
+
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_future(release.get_future());
+  const auto gate = engine->SubmitTask([&entered, release_future] {
+    entered.set_value();
+    release_future.wait();
+    return Status::OK();
+  });
+  entered.get_future().wait();
+
+  // Fill the queue behind the parked lane, then overflow it.
+  const auto queued_a = engine->SubmitQuery(ref.probe, 3, Engine::kNoDeadline);
+  const auto queued_b = engine->SubmitQuery(ref.probe, 3, Engine::kNoDeadline);
+  const auto refused = engine->SubmitQuery(ref.probe, 3, Engine::kNoDeadline);
+  // Admission control resolves the overflow future immediately — no waiting
+  // on the stalled lane.
+  EXPECT_TRUE(refused.Ready());
+  const auto refused_result = refused.Get();
+  ASSERT_FALSE(refused_result.ok());
+  EXPECT_EQ(refused_result.status().code(), StatusCode::kResourceExhausted);
+
+  release.set_value();
+  for (const auto& accepted : {queued_a, queued_b}) {
+    const auto result = accepted.Get();
+    ASSERT_TRUE(result.ok()) << result.status();
+    ExpectSameNeighbors(*result, sync);
+  }
+  EXPECT_TRUE(gate.Get().ok());
+}
+
+TEST(EngineTest, ConcurrentSubmittersAndInsertsAllResolve) {
+  const int64_t d = 64;
+  EngineOptions options = BaseOptions();
+  options.threads = 2;
+  options.serving_threads = 3;
+  options.queue_capacity = 1024;
+  std::unique_ptr<Engine> engine = MakeEngineOrDie(d, options);
+  Rng rng(kTestSeed);
+  std::vector<std::vector<double>> xs;
+  for (int64_t i = 0; i < 32; ++i) {
+    xs.push_back(DenseGaussianVector(d, 1.0, &rng));
+  }
+  for (int64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(engine
+                    ->InsertVector("seed-" + std::to_string(i),
+                                   xs[static_cast<size_t>(i)],
+                                   100 + static_cast<uint64_t>(i))
+                    .ok());
+  }
+  const PrivateSketch probe = engine->Sketch(xs[0], 999);
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&engine, &probe, &failures] {
+      std::vector<EngineFuture<std::vector<SketchIndex::Neighbor>>> pending;
+      pending.reserve(kQueriesPerClient);
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        pending.push_back(engine->SubmitQuery(probe, 5));
+      }
+      for (auto& future : pending) {
+        const auto result = future.Get();
+        if (!result.ok() || result->size() > 5 || result->empty()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Grow the corpus while the clients hammer the query path.
+  std::thread inserter([&engine, &xs] {
+    for (int64_t i = 16; i < 32; ++i) {
+      const Status added =
+          engine->InsertVector("grow-" + std::to_string(i),
+                               xs[static_cast<size_t>(i)],
+                               200 + static_cast<uint64_t>(i));
+      DPJL_CHECK(added.ok(), added.ToString());
+    }
+  });
+  for (std::thread& client : clients) client.join();
+  inserter.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine->index_size(), 32);
+  EXPECT_EQ(engine->ids().size(), 32u);
+}
+
+TEST(EngineTest, DestructorDrainsAcceptedRequests) {
+  const DirectReference ref = MakeReference(11);
+  std::vector<EngineFuture<std::vector<SketchIndex::Neighbor>>> pending;
+  {
+    EngineOptions options = BaseOptions();
+    options.serving_threads = 2;
+    options.queue_capacity = 64;
+    std::unique_ptr<Engine> engine = MakeEngineOrDie(64, options);
+    for (size_t i = 0; i < ref.xs.size(); ++i) {
+      ASSERT_TRUE(engine
+                      ->InsertVector("doc-" + std::to_string(i), ref.xs[i],
+                                     500 + static_cast<uint64_t>(i))
+                      .ok());
+    }
+    for (int i = 0; i < 20; ++i) {
+      pending.push_back(engine->SubmitQuery(ref.probe, 3));
+    }
+    // Engine destroyed here: accepted requests are drained, not dropped.
+  }
+  for (const auto& future : pending) {
+    ASSERT_TRUE(future.Ready());
+    const auto result = future.Get();
+    EXPECT_TRUE(result.ok()) << result.status();
+  }
+}
+
+}  // namespace
+}  // namespace dpjl

@@ -32,34 +32,61 @@
 #include <string>
 #include <vector>
 
-#include "src/common/thread_pool.h"
 #include "src/common/timer.h"
-#include "src/core/batch_sketcher.h"
+#include "src/core/engine.h"
 #include "src/core/estimators.h"
-#include "src/core/sketch_index.h"
-#include "src/core/sketcher.h"
 
 namespace dpjl {
 namespace {
 
-void Usage() {
-  std::cerr
-      << "usage:\n"
-         "  dpjl_tool sketch --input FILE --output FILE [--epsilon E]\n"
-         "            [--delta D] [--alpha A] [--beta B] [--seed S]\n"
-         "            [--noise-seed N] [--transform sjlt|fjlt|gaussian]\n"
+void Usage(std::ostream& out) {
+  out << "usage:\n"
+         "  dpjl_tool sketch --input FILE --output FILE --noise-seed N\n"
+         "            [engine flags]\n"
          "  dpjl_tool sketch-batch --input FILE --output-prefix PREFIX\n"
-         "            --base-noise-seed N [--threads T] [config flags as\n"
-         "            for sketch]  (input: one CSV vector per line; row i\n"
-         "            is written to PREFIX + i + '.sketch' with noise seed\n"
-         "            derived as splitmix64(base, i) — identical for any T)\n"
+         "            --base-noise-seed N [engine flags]  (input: one CSV\n"
+         "            vector per line; row i is written to PREFIX + i +\n"
+         "            '.sketch' with noise seed derived as\n"
+         "            splitmix64(base, i) — identical for any --threads)\n"
          "  dpjl_tool estimate --a FILE --b FILE\n"
          "  dpjl_tool inspect --sketch FILE\n"
          "  dpjl_tool index-add --index FILE --id NAME --sketch FILE\n"
          "  dpjl_tool query --index FILE --sketch FILE [--top N]\n"
-         "            [--threads T]  (alias: index-query)\n"
+         "            [engine flags]  (alias: index-query)\n"
          "  dpjl_tool selftest\n"
-         "flags accept both '--key value' and '--key=value'\n";
+         "engine flags (one shared config path, see EngineOptions::Parse):\n"
+         "  sketcher: --epsilon E --delta D --alpha A --beta B --seed S\n"
+         "            --transform sjlt|sjlt-graph|fjlt|gaussian|achlioptas|\n"
+         "            sparse-uniform --k-override K --s-override S\n"
+         "            --noise auto|laplace|gaussian|none\n"
+         "            --placement output|input|post-hadamard\n"
+         "  serving:  --threads T (0 = all cores) --shards N\n"
+         "            --serving-threads T --queue-capacity N --deadline-ms MS\n"
+         "flags accept both '--key value' and '--key=value'\n"
+         "every subcommand accepts --help / -h\n";
+}
+
+/// True when the invocation asks for help; handled before flag parsing so
+/// `dpjl_tool sketch --help` prints usage and exits 0 instead of failing
+/// on missing required flags. Help tokens only count in command/key
+/// positions of the `--key value` grammar — "help", "--help" or "-h"
+/// appearing as a flag's VALUE (e.g. `--id help`, `--sketch -h`) stays
+/// data.
+bool HelpRequested(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string command = argv[1];
+    if (command == "help" || command == "--help" || command == "-h") {
+      return true;
+    }
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return true;
+    if (arg.rfind("--", 0) == 0 && arg.find('=') == std::string::npos) {
+      ++i;  // `--key value` form: the next token is this flag's value
+    }
+  }
+  return false;
 }
 
 // Minimal flag parser accepting --key value and --key=value; returns false
@@ -148,24 +175,6 @@ Result<std::vector<std::vector<double>>> ReadCsvMatrix(const std::string& path) 
   return rows;
 }
 
-// --threads T (default 1, 0 = hardware concurrency). Returns null for the
-// serial path so commands skip pool setup entirely at T = 1.
-Result<std::unique_ptr<ThreadPool>> PoolFromFlags(
-    const std::map<std::string, std::string>& flags) {
-  const std::string raw = FlagOr(flags, "threads", "1");
-  char* parse_end = nullptr;
-  const long threads = std::strtol(raw.c_str(), &parse_end, 10);
-  if (raw.empty() || *parse_end != '\0' || threads < 0 || threads > 4096) {
-    return Status::InvalidArgument("--threads must be an integer in [0, 4096] "
-                                   "(0 = all hardware cores), got '" +
-                                   raw + "'");
-  }
-  const int n =
-      threads == 0 ? ThreadPool::DefaultThreadCount() : static_cast<int>(threads);
-  if (n <= 1) return std::unique_ptr<ThreadPool>();
-  return std::make_unique<ThreadPool>(n);
-}
-
 Status WriteFile(const std::string& path, const std::string& bytes) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::NotFound("cannot open output file: " + path);
@@ -181,33 +190,22 @@ Result<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
-Result<SketcherConfig> ConfigFromFlags(
-    const std::map<std::string, std::string>& flags) {
-  SketcherConfig config;
-  config.epsilon = std::atof(FlagOr(flags, "epsilon", "1.0").c_str());
-  config.delta = std::atof(FlagOr(flags, "delta", "0").c_str());
-  config.alpha = std::atof(FlagOr(flags, "alpha", "0.2").c_str());
-  config.beta = std::atof(FlagOr(flags, "beta", "0.05").c_str());
-  config.projection_seed =
-      std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
-  const std::string transform = FlagOr(flags, "transform", "sjlt");
-  if (transform == "sjlt") {
-    config.transform = TransformKind::kSjltBlock;
-  } else if (transform == "fjlt") {
-    config.transform = TransformKind::kFjlt;
-  } else if (transform == "gaussian") {
-    config.transform = TransformKind::kGaussianIid;
-  } else {
-    return Status::InvalidArgument("unknown transform: " + transform);
-  }
-  return config;
+// The tool's historical defaults, applied before EngineOptions::Parse reads
+// the caller's overrides out of the same flag map.
+Result<EngineOptions> OptionsFromFlags(
+    std::map<std::string, std::string> flags) {
+  flags.emplace("epsilon", "1.0");
+  flags.emplace("alpha", "0.2");
+  flags.emplace("beta", "0.05");
+  flags.emplace("seed", "1");
+  return EngineOptions::Parse(flags);
 }
 
 int CmdSketch(const std::map<std::string, std::string>& flags) {
   const std::string input = FlagOr(flags, "input", "");
   const std::string output = FlagOr(flags, "output", "");
   if (input.empty() || output.empty()) {
-    Usage();
+    Usage(std::cerr);
     return 2;
   }
   auto vector = ReadCsvVector(input);
@@ -215,15 +213,15 @@ int CmdSketch(const std::map<std::string, std::string>& flags) {
     std::cerr << vector.status() << "\n";
     return 1;
   }
-  auto config = ConfigFromFlags(flags);
-  if (!config.ok()) {
-    std::cerr << config.status() << "\n";
+  auto options = OptionsFromFlags(flags);
+  if (!options.ok()) {
+    std::cerr << options.status() << "\n";
     return 1;
   }
-  auto sketcher =
-      PrivateSketcher::Create(static_cast<int64_t>(vector->size()), *config);
-  if (!sketcher.ok()) {
-    std::cerr << sketcher.status() << "\n";
+  auto engine =
+      Engine::Create(static_cast<int64_t>(vector->size()), *options);
+  if (!engine.ok()) {
+    std::cerr << engine.status() << "\n";
     return 1;
   }
   const uint64_t noise_seed =
@@ -233,14 +231,15 @@ int CmdSketch(const std::map<std::string, std::string>& flags) {
                  "data and must differ per input\n";
     return 2;
   }
-  const PrivateSketch sketch = sketcher->Sketch(*vector, noise_seed);
+  const PrivateSketch sketch = (*engine)->Sketch(*vector, noise_seed);
   const Status written = WriteFile(output, sketch.Serialize());
   if (!written.ok()) {
     std::cerr << written << "\n";
     return 1;
   }
-  std::cout << "wrote " << output << ": " << sketcher->Describe() << ", d="
-            << vector->size() << " -> k=" << sketch.values().size() << "\n";
+  std::cout << "wrote " << output << ": " << (*engine)->sketcher().Describe()
+            << ", d=" << vector->size() << " -> k=" << sketch.values().size()
+            << "\n";
   return 0;
 }
 
@@ -248,7 +247,7 @@ int CmdSketchBatch(const std::map<std::string, std::string>& flags) {
   const std::string input = FlagOr(flags, "input", "");
   const std::string prefix = FlagOr(flags, "output-prefix", "");
   if (input.empty() || prefix.empty()) {
-    Usage();
+    Usage(std::cerr);
     return 2;
   }
   auto rows = ReadCsvMatrix(input);
@@ -256,15 +255,15 @@ int CmdSketchBatch(const std::map<std::string, std::string>& flags) {
     std::cerr << rows.status() << "\n";
     return 1;
   }
-  auto config = ConfigFromFlags(flags);
-  if (!config.ok()) {
-    std::cerr << config.status() << "\n";
+  auto options = OptionsFromFlags(flags);
+  if (!options.ok()) {
+    std::cerr << options.status() << "\n";
     return 1;
   }
-  auto sketcher = PrivateSketcher::Create(
-      static_cast<int64_t>(rows->front().size()), *config);
-  if (!sketcher.ok()) {
-    std::cerr << sketcher.status() << "\n";
+  auto engine = Engine::Create(
+      static_cast<int64_t>(rows->front().size()), *options);
+  if (!engine.ok()) {
+    std::cerr << engine.status() << "\n";
     return 1;
   }
   const uint64_t base_seed = std::strtoull(
@@ -274,14 +273,8 @@ int CmdSketchBatch(const std::map<std::string, std::string>& flags) {
                  "are derived from it and it must differ per batch\n";
     return 2;
   }
-  auto pool = PoolFromFlags(flags);
-  if (!pool.ok()) {
-    std::cerr << pool.status() << "\n";
-    return 1;
-  }
-  const BatchSketcher batch(&*sketcher, pool->get());
   Timer timer;
-  auto sketches = batch.BatchSketch(*rows, base_seed);
+  auto sketches = (*engine)->SketchBatch(*rows, base_seed);
   const double seconds = timer.ElapsedSeconds();
   if (!sketches.ok()) {
     std::cerr << sketches.status() << "\n";
@@ -296,10 +289,10 @@ int CmdSketchBatch(const std::map<std::string, std::string>& flags) {
     }
   }
   std::cout << "wrote " << sketches->size() << " sketches to " << prefix
-            << "*.sketch: " << sketcher->Describe() << ", d="
+            << "*.sketch: " << (*engine)->sketcher().Describe() << ", d="
             << rows->front().size() << " -> k="
             << sketches->front().values().size() << ", threads="
-            << (pool->get() == nullptr ? 1 : (*pool)->num_threads()) << ", "
+            << (*engine)->query_threads() << ", "
             << static_cast<int64_t>(static_cast<double>(sketches->size()) /
                                     (seconds > 0 ? seconds : 1e-9))
             << " vectors/sec\n";
@@ -310,7 +303,7 @@ int CmdEstimate(const std::map<std::string, std::string>& flags) {
   const std::string path_a = FlagOr(flags, "a", "");
   const std::string path_b = FlagOr(flags, "b", "");
   if (path_a.empty() || path_b.empty()) {
-    Usage();
+    Usage(std::cerr);
     return 2;
   }
   auto bytes_a = ReadFile(path_a);
@@ -349,7 +342,7 @@ int CmdEstimate(const std::map<std::string, std::string>& flags) {
 int CmdInspect(const std::map<std::string, std::string>& flags) {
   const std::string path = FlagOr(flags, "sketch", "");
   if (path.empty()) {
-    Usage();
+    Usage(std::cerr);
     return 2;
   }
   auto bytes = ReadFile(path);
@@ -382,7 +375,7 @@ int CmdIndexAdd(const std::map<std::string, std::string>& flags) {
   const std::string id = FlagOr(flags, "id", "");
   const std::string sketch_path = FlagOr(flags, "sketch", "");
   if (index_path.empty() || id.empty() || sketch_path.empty()) {
-    Usage();
+    Usage(std::cerr);
     return 2;
   }
   // Load (or start) the index.
@@ -423,7 +416,7 @@ int CmdIndexQuery(const std::map<std::string, std::string>& flags) {
   const std::string index_path = FlagOr(flags, "index", "");
   const std::string sketch_path = FlagOr(flags, "sketch", "");
   if (index_path.empty() || sketch_path.empty()) {
-    Usage();
+    Usage(std::cerr);
     return 2;
   }
   auto index_bytes = ReadFile(index_path);
@@ -447,12 +440,19 @@ int CmdIndexQuery(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   const int64_t top = std::atoll(FlagOr(flags, "top", "5").c_str());
-  auto pool = PoolFromFlags(flags);
-  if (!pool.ok()) {
-    std::cerr << pool.status() << "\n";
+  auto options = OptionsFromFlags(flags);
+  if (!options.ok()) {
+    std::cerr << options.status() << "\n";
     return 1;
   }
-  auto neighbors = index->NearestNeighbors(*query, top, pool->get());
+  // Serving-only engine over the released index: same pool/shard scan as
+  // before, now behind the one facade every caller shares.
+  auto engine = Engine::FromIndex(std::move(index).value(), *options);
+  if (!engine.ok()) {
+    std::cerr << engine.status() << "\n";
+    return 1;
+  }
+  auto neighbors = (*engine)->NearestNeighbors(*query, top);
   if (!neighbors.ok()) {
     std::cerr << neighbors.status() << "\n";
     return 1;
@@ -520,12 +520,12 @@ int CmdSelftest() {
   // accept only within the Chebyshev 99% half-width (10 sigma here). A sign
   // flip, a mis-centered estimator, or mismatched projection seeds all land
   // far outside this band, while the fixed-seed draw sits well inside it.
-  auto config = ConfigFromFlags({{"epsilon", epsilon}, {"seed", seed}});
-  if (!config.ok()) return 1;
-  auto sketcher = PrivateSketcher::Create(d, *config);
-  if (!sketcher.ok()) return 1;
+  auto options = OptionsFromFlags({{"epsilon", epsilon}, {"seed", seed}});
+  if (!options.ok()) return 1;
+  auto engine = Engine::Create(d, *options);
+  if (!engine.ok()) return 1;
   const double variance =
-      sketcher->PredictVariance(truth_z2sq, truth_z4p4).total();
+      (*engine)->sketcher().PredictVariance(truth_z2sq, truth_z4p4).total();
   const double halfwidth = ChebyshevHalfWidth(variance, 1e-2);
   const double rel_error = std::abs(est - truth_z2sq) / truth_z2sq;
   std::cout << "selftest estimate (truth " << truth_z2sq << "): " << est
@@ -588,7 +588,7 @@ int CmdSelftest() {
     auto row = ReadCsvVector(i == 0 ? dir + "/a.csv" : dir + "/b.csv");
     if (!row.ok()) return 1;
     const PrivateSketch serial =
-        sketcher->Sketch(*row, BatchItemNoiseSeed(303, i));
+        (*engine)->Sketch(*row, BatchItemNoiseSeed(303, i));
     if (*batch_bytes != serial.Serialize()) {
       std::cerr << "selftest FAILED: sketch-batch row " << i
                 << " differs from the serial release\n";
@@ -596,22 +596,41 @@ int CmdSelftest() {
     }
   }
 
-  // Multi-threaded index query must match the serial one exactly.
+  // Serving facade: a threaded engine over the same index must reproduce
+  // the serial query byte for byte, both through the sync call and through
+  // the async submission path.
   {
-    ThreadPool pool(2);
-    auto parallel_neighbors = index->NearestNeighbors(*a, 2, &pool);
-    if (!parallel_neighbors.ok() ||
-        parallel_neighbors->size() != neighbors->size()) {
-      std::cerr << "selftest FAILED: threaded query malformed\n";
+    auto serve_options = OptionsFromFlags({{"threads", "2"}});
+    if (!serve_options.ok()) return 1;
+    auto server = Engine::FromIndex(std::move(index).value(), *serve_options);
+    if (!server.ok()) {
+      std::cerr << server.status() << "\n";
       return 1;
     }
-    for (size_t i = 0; i < neighbors->size(); ++i) {
-      if ((*parallel_neighbors)[i].id != (*neighbors)[i].id ||
-          (*parallel_neighbors)[i].squared_distance !=
-              (*neighbors)[i].squared_distance) {
-        std::cerr << "selftest FAILED: threaded query differs from serial\n";
-        return 1;
+    const auto check = [&](const Result<std::vector<SketchIndex::Neighbor>>&
+                               got) {
+      if (!got.ok() || got->size() != neighbors->size()) return false;
+      for (size_t i = 0; i < neighbors->size(); ++i) {
+        if ((*got)[i].id != (*neighbors)[i].id ||
+            (*got)[i].squared_distance != (*neighbors)[i].squared_distance) {
+          return false;
+        }
       }
+      return true;
+    };
+    if (!check((*server)->NearestNeighbors(*a, 2))) {
+      std::cerr << "selftest FAILED: engine query differs from serial\n";
+      return 1;
+    }
+    if (!check((*server)->SubmitQuery(*a, 2).Get())) {
+      std::cerr << "selftest FAILED: async engine query differs from serial\n";
+      return 1;
+    }
+    const auto async_est = (*server)->SubmitEstimate("a", "b").Get();
+    const auto sync_est = (*server)->SquaredDistance("a", "b");
+    if (!async_est.ok() || !sync_est.ok() || *async_est != *sync_est) {
+      std::cerr << "selftest FAILED: async estimate differs from sync\n";
+      return 1;
     }
   }
 
@@ -621,13 +640,17 @@ int CmdSelftest() {
 
 int Main(int argc, char** argv) {
   if (argc < 2) {
-    Usage();
+    Usage(std::cerr);
     return 2;
+  }
+  if (HelpRequested(argc, argv)) {
+    Usage(std::cout);
+    return 0;
   }
   const std::string command = argv[1];
   std::map<std::string, std::string> flags;
   if (!ParseFlags(argc, argv, 2, &flags)) {
-    Usage();
+    Usage(std::cerr);
     return 2;
   }
   if (command == "sketch") return CmdSketch(flags);
@@ -637,7 +660,7 @@ int Main(int argc, char** argv) {
   if (command == "index-add") return CmdIndexAdd(flags);
   if (command == "index-query" || command == "query") return CmdIndexQuery(flags);
   if (command == "selftest") return CmdSelftest();
-  Usage();
+  Usage(std::cerr);
   return 2;
 }
 
