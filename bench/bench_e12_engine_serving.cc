@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -97,6 +98,94 @@ void BM_EngineAsyncQueryWindow(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EngineAsyncQueryWindow)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Mixed-priority scenario: interactive queries submitted WHILE a deep
+// batch backfill floods the queue. The scheduler's whole value is that the
+// interactive lane's completion latency stays near the no-contention cost
+// instead of queueing behind the backfill; the per-lane p50/p99 counters
+// make that measurable and regression-guardable. (Submit everything at
+// kBatch to see what the FIFO world looked like: interactive p99 then
+// matches batch p99.)
+void BM_EngineMixedPriorityServing(benchmark::State& state) {
+  const int serving_threads = static_cast<int>(state.range(0));
+  int64_t corpus = 0;
+  std::unique_ptr<Engine> engine = MakeServingEngine(serving_threads, &corpus);
+  Rng rng(kSeed + 4);
+  const PrivateSketch probe =
+      engine->Sketch(DenseGaussianVector(512, 1.0, &rng), kSeed + 5);
+
+  using Clock = RequestQueue::Clock;
+  struct Sample {
+    Clock::time_point submitted;
+    Clock::time_point completed;  // written by the serving thread; read
+                                  // only after the future resolves
+  };
+  constexpr int kBackfillPerInteractive = 3;
+  constexpr int kInteractivePerRound = 16;
+  std::vector<double> interactive_ms;
+  std::vector<double> batch_ms;
+
+  for (auto _ : state) {
+    std::deque<Sample> samples;  // deque: stable addresses under push_back
+    std::vector<EngineFuture<bool>> futures;
+    const auto submit = [&](Priority priority) {
+      samples.emplace_back();
+      Sample* sample = &samples.back();
+      sample->submitted = Clock::now();
+      RequestOptions request;
+      request.priority = priority;
+      Engine* raw = engine.get();
+      futures.push_back(engine->SubmitTask(
+          [raw, sample, &probe] {
+            auto neighbors = raw->NearestNeighbors(probe, 10);
+            if (!neighbors.ok()) return neighbors.status();
+            benchmark::DoNotOptimize(neighbors->data());
+            sample->completed = Clock::now();
+            return Status::OK();
+          },
+          request));
+    };
+    // The backfill is already queued when each interactive query arrives —
+    // the adversarial interleaving a FIFO queue handles worst.
+    for (int i = 0; i < kInteractivePerRound; ++i) {
+      for (int b = 0; b < kBackfillPerInteractive; ++b) submit(Priority::kBatch);
+      submit(Priority::kInteractive);
+    }
+    for (auto& future : futures) {
+      const auto result = future.Get();
+      DPJL_CHECK(result.ok(), result.status().ToString());
+    }
+    size_t next = 0;
+    for (int i = 0; i < kInteractivePerRound; ++i) {
+      for (int b = 0; b < kBackfillPerInteractive; ++b) {
+        const Sample& sample = samples[next++];
+        batch_ms.push_back(
+            std::chrono::duration<double, std::milli>(sample.completed -
+                                                      sample.submitted)
+                .count());
+      }
+      const Sample& sample = samples[next++];
+      interactive_ms.push_back(
+          std::chrono::duration<double, std::milli>(sample.completed -
+                                                    sample.submitted)
+              .count());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kInteractivePerRound *
+                          (kBackfillPerInteractive + 1));
+
+  const auto percentile = [](std::vector<double>* values, double p) {
+    std::sort(values->begin(), values->end());
+    const size_t rank = static_cast<size_t>(
+        p * static_cast<double>(values->size() - 1) + 0.5);
+    return (*values)[rank];
+  };
+  state.counters["interactive_p50_ms"] = percentile(&interactive_ms, 0.50);
+  state.counters["interactive_p99_ms"] = percentile(&interactive_ms, 0.99);
+  state.counters["batch_p50_ms"] = percentile(&batch_ms, 0.50);
+  state.counters["batch_p99_ms"] = percentile(&batch_ms, 0.99);
+}
+BENCHMARK(BM_EngineMixedPriorityServing)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 }  // namespace dpjl

@@ -14,7 +14,7 @@
 #include <iostream>
 
 #include "src/common/table_printer.h"
-#include "src/core/sketcher.h"
+#include "src/core/engine.h"
 #include "src/core/variance_model.h"
 #include "src/jl/dims.h"
 
@@ -36,28 +36,31 @@ int main() {
                       "pred_stderr", "note5_says", "exact_rule_says"});
   for (double eps : {0.5, 2.0}) {
     for (double delta : {0.0, 1e-6, 1e-9, 1e-20, 1e-40}) {
-      SketcherConfig config;
-      config.alpha = alpha;
-      config.beta = beta;
-      config.epsilon = eps;
-      config.delta = delta;
-      config.projection_seed = 0xD0;
-      auto sketcher = PrivateSketcher::Create(d, config);
-      if (!sketcher.ok()) {
-        std::cerr << sketcher.status() << "\n";
+      // One facade per budget: the engine owns the sketcher whose
+      // automatic mechanism choice the row reports.
+      EngineOptions options;
+      options.sketcher.alpha = alpha;
+      options.sketcher.beta = beta;
+      options.sketcher.epsilon = eps;
+      options.sketcher.delta = delta;
+      options.sketcher.projection_seed = 0xD0;
+      auto engine = Engine::Create(d, options);
+      if (!engine.ok()) {
+        std::cerr << engine.status() << "\n";
         return 1;
       }
-      const auto& mech = sketcher->mechanism();
+      const PrivateSketcher& sketcher = (*engine)->sketcher();
+      const auto& mech = sketcher.mechanism();
       const double stderr_pred =
-          std::sqrt(sketcher->PredictVariance(ref_dist_sq, 1.0).total());
-      const Sensitivities sens = sketcher->transform().ExactSensitivities();
+          std::sqrt(sketcher.PredictVariance(ref_dist_sq, 1.0).total());
+      const Sensitivities sens = sketcher.transform().ExactSensitivities();
       const std::string note5 =
           delta == 0.0 ? "laplace (forced)"
                        : (LaplacePreferred(sens, delta) ? "laplace" : "gaussian");
       const std::string exact =
           delta == 0.0
               ? "laplace (forced)"
-              : (LaplacePreferredExact(sketcher->transform(), eps, delta,
+              : (LaplacePreferredExact(sketcher.transform(), eps, delta,
                                        ref_dist_sq, 1.0)
                      ? "laplace"
                      : "gaussian");

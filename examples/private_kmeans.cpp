@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "src/common/table_printer.h"
-#include "src/core/sketcher.h"
+#include "src/core/engine.h"
 #include "src/linalg/vector_ops.h"
 #include "src/workload/generators.h"
 
@@ -132,30 +132,37 @@ int main() {
   const int64_t n_points = 300;
   const int64_t n_clusters = 6;
 
-  SketcherConfig config;
-  config.alpha = 0.15;
-  config.beta = 0.05;
-  config.epsilon = 3.0;
-  config.projection_seed = 0xC1A55;
+  // The engine facade owns the sketcher (and the thread pool the batch
+  // path fans out on); no hand-wired construction.
+  EngineOptions options;
+  options.sketcher.alpha = 0.15;
+  options.sketcher.beta = 0.05;
+  options.sketcher.epsilon = 3.0;
+  options.sketcher.projection_seed = 0xC1A55;
+  options.threads = 2;
 
-  auto sketcher = PrivateSketcher::Create(d, config);
-  if (!sketcher.ok()) {
-    std::cerr << sketcher.status() << "\n";
+  auto engine_result = Engine::Create(d, options);
+  if (!engine_result.ok()) {
+    std::cerr << engine_result.status() << "\n";
     return 1;
   }
-  std::cout << "construction: " << sketcher->Describe() << "\n";
+  Engine& engine = **engine_result;
+  std::cout << "construction: " << engine.sketcher().Describe() << "\n";
 
   Rng rng(7);
   const ClusteredData data = MakeClusters(n_points, d, n_clusters,
                                           /*center_scale=*/1.0,
                                           /*spread=*/0.6, &rng);
 
-  // Each party publishes one sketch; the analyst clusters the sketches.
+  // Each party publishes one sketch (the engine's batch path derives
+  // per-item noise seeds from one base seed); the analyst clusters the
+  // sketches.
+  const auto released = engine.SketchBatch(data.points, /*base_noise_seed=*/500);
+  DPJL_CHECK(released.ok(), released.status().ToString());
   std::vector<std::vector<double>> sketch_space;
-  sketch_space.reserve(data.points.size());
-  for (size_t i = 0; i < data.points.size(); ++i) {
-    sketch_space.push_back(
-        sketcher->Sketch(data.points[i], /*noise_seed=*/500 + i).values());
+  sketch_space.reserve(released->size());
+  for (const PrivateSketch& sketch : *released) {
+    sketch_space.push_back(sketch.values());
   }
 
   const std::vector<int64_t> private_labels = LloydRestarts(
@@ -166,11 +173,13 @@ int main() {
   TablePrinter table({"pipeline", "space_dim", "purity_vs_ground_truth"});
   table.AddRow({"non-private k-means (raw)", Fmt(d),
                 Fmt(Purity(raw_labels, data.labels, n_clusters), 3)});
-  table.AddRow({"private k-means (DP sketches)", Fmt(sketcher->output_dim()),
+  table.AddRow({"private k-means (DP sketches)",
+                Fmt(engine.sketcher().output_dim()),
                 Fmt(Purity(private_labels, data.labels, n_clusters), 3)});
   table.Print(std::cout);
   std::cout << "\nThe private pipeline clusters " << n_points
             << " points it never saw in the clear: each point entered as a\n"
-            << "single eps = " << config.epsilon << " pure-DP sketch.\n";
+            << "single eps = " << options.sketcher.epsilon
+            << " pure-DP sketch.\n";
   return 0;
 }

@@ -1,25 +1,25 @@
 // Streaming sketch maintenance — Theorem 3(4)'s O(s) per-update cost in a
-// telemetry-style deployment.
+// telemetry-style deployment, served through the Engine facade.
 //
 // Several edge devices observe event streams over a huge key space. Each
 // maintains a running SJLT sketch (updating s = O(alpha^-1 log 1/beta)
-// counters per event, never materializing the d-dimensional histogram) and
-// periodically releases a private snapshot. The collector estimates
-// pairwise divergence between devices and tracks the cumulative privacy
-// spend of repeated releases.
+// counters per event, never materializing the d-dimensional histogram)
+// against the engine's shared public projection and periodically releases
+// a private snapshot. The collector ingests the snapshots into the
+// engine's index and estimates pairwise divergence between devices there,
+// while tracking the cumulative privacy spend of repeated releases.
 //
 // Build & run:  ./build/examples/streaming_updates
 
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "src/common/table_printer.h"
 #include "src/common/timer.h"
-#include "src/core/estimators.h"
-#include "src/core/sketcher.h"
+#include "src/core/engine.h"
 #include "src/core/streaming.h"
 #include "src/dp/accountant.h"
-#include "src/linalg/vector_ops.h"
 #include "src/workload/generators.h"
 
 int main() {
@@ -30,27 +30,31 @@ int main() {
   const int64_t events_per_epoch = 50000;
   const int64_t n_epochs = 2;
 
-  SketcherConfig config;
-  config.k_override = 512;
-  config.s_override = 16;
-  config.epsilon = 0.5;  // per release
-  config.projection_seed = 0xFEED;
+  EngineOptions options;
+  options.sketcher.k_override = 512;
+  options.sketcher.s_override = 16;
+  options.sketcher.epsilon = 0.5;  // per release
+  options.sketcher.projection_seed = 0xFEED;
 
-  auto sketcher = PrivateSketcher::Create(d, config);
-  if (!sketcher.ok()) {
-    std::cerr << sketcher.status() << "\n";
+  auto engine_result = Engine::Create(d, options);
+  if (!engine_result.ok()) {
+    std::cerr << engine_result.status() << "\n";
     return 1;
   }
-  std::cout << "construction: " << sketcher->Describe() << "\n"
+  Engine& engine = **engine_result;
+  std::cout << "construction: " << engine.sketcher().Describe() << "\n"
             << "key space d = " << d << ", sketch k = "
-            << sketcher->output_dim() << ", update touches s = 16 counters\n\n";
+            << engine.sketcher().output_dim()
+            << ", update touches s = 16 counters\n\n";
 
-  // Devices 0 and 1 sample similar traffic; device 2 diverges.
+  // Devices 0 and 1 sample similar traffic; device 2 diverges. Every
+  // device streams against the engine's sketcher (one shared projection).
   std::vector<StreamingSketcher> devices;
   std::vector<PrivacyAccountant> accountants(n_devices);
   for (int64_t dev = 0; dev < n_devices; ++dev) {
     devices.push_back(
-        StreamingSketcher::Create(&*sketcher, /*noise_seed=*/7000 + dev).value());
+        StreamingSketcher::Create(&engine.sketcher(), /*noise_seed=*/7000 + dev)
+            .value());
   }
 
   Rng shared(11);
@@ -72,19 +76,32 @@ int main() {
       total_updates += 3;
     }
 
-    // Epoch release: each device publishes a snapshot and accounts for it.
-    std::vector<PrivateSketch> snapshots;
+    // Epoch release: each device publishes a snapshot into the engine's
+    // index (released artifacts only — safe at an untrusted collector)
+    // and accounts for it.
+    std::vector<std::pair<std::string, PrivateSketch>> snapshots;
     for (int64_t dev = 0; dev < n_devices; ++dev) {
-      snapshots.push_back(devices[dev].Finalize());
-      accountants[dev].Record(PrivacyParams{snapshots.back().metadata().epsilon,
-                                            snapshots.back().metadata().delta});
+      snapshots.emplace_back(
+          "e" + std::to_string(epoch) + "-dev" + std::to_string(dev),
+          devices[dev].Finalize());
+      accountants[dev].Record(
+          PrivacyParams{snapshots.back().second.metadata().epsilon,
+                        snapshots.back().second.metadata().delta});
     }
-    std::cout << "epoch " << epoch << " pairwise estimated ||hist_i - hist_j||^2:\n";
+    DPJL_CHECK_OK(engine.InsertBatch(std::move(snapshots)));
+
+    std::cout << "epoch " << epoch
+              << " pairwise estimated ||hist_i - hist_j||^2:\n";
     TablePrinter table({"pair", "estimate"});
     for (int64_t i = 0; i < n_devices; ++i) {
       for (int64_t j = i + 1; j < n_devices; ++j) {
-        table.AddRow({"dev" + std::to_string(i) + " vs dev" + std::to_string(j),
-                      Fmt(EstimateSquaredDistance(snapshots[i], snapshots[j]).value(), 0)});
+        const std::string id_i =
+            "e" + std::to_string(epoch) + "-dev" + std::to_string(i);
+        const std::string id_j =
+            "e" + std::to_string(epoch) + "-dev" + std::to_string(j);
+        table.AddRow(
+            {"dev" + std::to_string(i) + " vs dev" + std::to_string(j),
+             Fmt(engine.SquaredDistance(id_i, id_j).value(), 0)});
       }
     }
     table.Print(std::cout);
@@ -95,6 +112,8 @@ int main() {
       update_timer.ElapsedSeconds() * 1e6 / static_cast<double>(total_updates);
   std::cout << "update cost: " << Fmt(us_per_update, 3)
             << " us/event (includes stream generation)\n";
+  std::cout << "collector index: " << engine.index_size()
+            << " released snapshots across " << n_epochs << " epochs\n";
   std::cout << "cumulative privacy per device after " << n_epochs
             << " releases (basic composition): eps = "
             << accountants[0].BasicComposition().epsilon << "\n";

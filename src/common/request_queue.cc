@@ -1,64 +1,185 @@
 #include "src/common/request_queue.h"
 
 #include <algorithm>
-#include <string>
 #include <utility>
 
 #include "src/common/check.h"
 
 namespace dpjl {
 
-RequestQueue::RequestQueue(int64_t capacity)
-    : capacity_(std::max<int64_t>(1, capacity)) {}
+std::string_view PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kBestEffort:
+      return "best-effort";
+  }
+  return "interactive";
+}
+
+Result<Priority> ParsePriority(const std::string& raw) {
+  if (raw == "interactive") return Priority::kInteractive;
+  if (raw == "batch") return Priority::kBatch;
+  if (raw == "best-effort") return Priority::kBestEffort;
+  return Status::InvalidArgument("unknown priority '" + raw +
+                                 "' (expected interactive|batch|best-effort)");
+}
+
+RequestQueue::RequestQueue(int64_t capacity, int64_t tenant_quota)
+    : capacity_(std::max<int64_t>(1, capacity)),
+      tenant_quota_(std::max<int64_t>(0, tenant_quota)) {}
 
 RequestQueue::~RequestQueue() {
   Close();
   // Normal shutdown drains through ServeOne before destruction; anything
   // still here would otherwise leave its caller blocked forever.
-  std::deque<Request> orphans;
+  std::unordered_map<Ticket, Request> orphans;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    orphans.swap(requests_);
+    orphans.swap(pending_);
+    for (auto& lane : lanes_) lane.clear();
+    tenant_usage_.clear();
   }
-  for (Request& request : orphans) {
-    request.handler(Status::FailedPrecondition(
+  for (auto& entry : orphans) {
+    entry.second.handler(Status::FailedPrecondition(
         "request queue destroyed before the request was served"));
   }
 }
 
-Status RequestQueue::TryPush(Request request) {
+Result<RequestQueue::Ticket> RequestQueue::TryPush(Request request) {
   DPJL_CHECK(request.handler != nullptr, "request handler must be non-null");
+  const size_t lane = static_cast<size_t>(request.priority);
+  DPJL_CHECK(lane < static_cast<size_t>(kNumPriorityLanes),
+             "request priority out of range");
+  Ticket ticket = kNoTicket;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) {
       return Status::FailedPrecondition("request queue is closed");
     }
-    if (static_cast<int64_t>(requests_.size()) >= capacity_) {
+    if (static_cast<int64_t>(pending_.size()) >= capacity_) {
+      ++stats_[lane].refused;
       return Status::ResourceExhausted(
           "request queue is full (capacity " + std::to_string(capacity_) +
           "); retry later or raise queue_capacity");
     }
-    requests_.push_back(std::move(request));
+    if (tenant_quota_ > 0 && !request.tenant.empty()) {
+      const auto usage = tenant_usage_.find(request.tenant);
+      if (usage != tenant_usage_.end() && usage->second >= tenant_quota_) {
+        ++stats_[lane].refused;
+        return Status::ResourceExhausted(
+            "tenant '" + request.tenant + "' is at its quota of " +
+            std::to_string(tenant_quota_) +
+            " queued+in-flight requests; retry after its work completes");
+      }
+    }
+    ticket = next_ticket_++;
+    if (!request.tenant.empty()) ++tenant_usage_[request.tenant];
+    lanes_[lane].push_back(ticket);
+    ++stats_[lane].depth;
+    pending_.emplace(ticket, std::move(request));
   }
   ready_.notify_one();
-  return Status::OK();
+  return ticket;
+}
+
+RequestQueue::Request RequestQueue::PopLockedAndCount(Clock::time_point now,
+                                                      bool* expired) {
+  for (size_t lane_index = 0; lane_index < lanes_.size(); ++lane_index) {
+    auto& lane = lanes_[lane_index];
+    while (!lane.empty()) {
+      const Ticket ticket = lane.front();
+      lane.pop_front();
+      const auto it = pending_.find(ticket);
+      if (it == pending_.end()) {
+        --stale_[lane_index];  // cancelled in place; reclaimed now
+        continue;
+      }
+      Request request = std::move(it->second);
+      pending_.erase(it);
+      LaneStats& stats = stats_[static_cast<size_t>(request.priority)];
+      --stats.depth;
+      *expired = now >= request.deadline;
+      ++(*expired ? stats.expired : stats.served);
+      ++in_flight_;
+      return request;
+    }
+  }
+  DPJL_CHECK(false, "PopLockedAndCount called with no pending request");
+  return Request{};
+}
+
+void RequestQueue::NotifyIfIdleLocked() {
+  if (pending_.empty() && in_flight_ == 0) idle_.notify_all();
+}
+
+void RequestQueue::ReleaseTenantLocked(const std::string& tenant) {
+  if (tenant.empty()) return;
+  const auto it = tenant_usage_.find(tenant);
+  DPJL_CHECK(it != tenant_usage_.end() && it->second > 0,
+             "tenant usage underflow");
+  if (--it->second == 0) tenant_usage_.erase(it);
 }
 
 bool RequestQueue::ServeOne() {
   Request request;
+  bool expired = false;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [this] { return closed_ || !requests_.empty(); });
-    if (requests_.empty()) return false;  // closed and drained
-    request = std::move(requests_.front());
-    requests_.pop_front();
+    ready_.wait(lock, [this] { return closed_ || !pending_.empty(); });
+    if (pending_.empty()) return false;  // closed and drained
+    request = PopLockedAndCount(Clock::now(), &expired);
   }
-  if (Clock::now() >= request.deadline) {
+  if (expired) {
     request.handler(Status::DeadlineExceeded(
         "request deadline passed while queued behind other work"));
   } else {
     request.handler(Status::OK());
   }
+  // The tenant's slot is held until the work completes — the quota meters
+  // in-flight requests, not just queued ones.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ReleaseTenantLocked(request.tenant);
+    --in_flight_;
+    NotifyIfIdleLocked();
+  }
+  return true;
+}
+
+bool RequestQueue::Cancel(Ticket ticket) {
+  Request request;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = pending_.find(ticket);
+    if (it == pending_.end()) return false;  // popped, cancelled, or unknown
+    request = std::move(it->second);
+    pending_.erase(it);  // its lane entry goes stale; pops skip it
+    const size_t lane_index = static_cast<size_t>(request.priority);
+    LaneStats& stats = stats_[lane_index];
+    --stats.depth;
+    ++stats.cancelled;
+    ReleaseTenantLocked(request.tenant);
+    // Keep stale tickets a minority of the lane: once they outnumber the
+    // live ones, sweep them out. Each sweep removes at least half of the
+    // deque, so the cost amortizes to O(1) per cancel and a cancel-heavy
+    // caller cannot grow the lane without bound while other lanes stay
+    // busy.
+    auto& lane = lanes_[lane_index];
+    if (++stale_[lane_index] * 2 > static_cast<int64_t>(lane.size())) {
+      lane.erase(std::remove_if(lane.begin(), lane.end(),
+                                [this](Ticket stale_ticket) {
+                                  return pending_.count(stale_ticket) == 0;
+                                }),
+                 lane.end());
+      stale_[lane_index] = 0;
+    }
+    NotifyIfIdleLocked();
+  }
+  request.handler(
+      Status::Cancelled("request cancelled by the caller while queued"));
   return true;
 }
 
@@ -70,9 +191,23 @@ void RequestQueue::Close() {
   ready_.notify_all();
 }
 
+void RequestQueue::WaitIdle() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return pending_.empty() && in_flight_ == 0; });
+}
+
 int64_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return static_cast<int64_t>(requests_.size());
+  return static_cast<int64_t>(pending_.size());
+}
+
+RequestQueue::Stats RequestQueue::GetStats() const {
+  Stats stats;
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats.lanes = stats_;
+  for (const LaneStats& lane : stats_) stats.deadline_misses += lane.expired;
+  stats.tenant_usage.insert(tenant_usage_.begin(), tenant_usage_.end());
+  return stats;
 }
 
 }  // namespace dpjl

@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "deadline_exceeded";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

@@ -36,6 +36,9 @@ enum class StatusCode : int {
   /// A bounded resource is at capacity and the operation was refused
   /// rather than queued (admission control; retry later or shed load).
   kResourceExhausted = 9,
+  /// The operation was cancelled by its caller before it ran (e.g. an
+  /// engine request cancelled while still queued).
+  kCancelled = 10,
 };
 
 /// Returns the canonical lowercase name of `code` (e.g. "invalid_argument").
@@ -89,6 +92,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

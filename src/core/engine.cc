@@ -1,9 +1,11 @@
 #include "src/core/engine.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <cstdlib>
 #include <limits>
+#include <set>
 #include <sstream>
 
 #include "src/common/check.h"
@@ -120,7 +122,29 @@ std::string FormatDouble(double value) {
 }  // namespace
 
 Result<EngineOptions> EngineOptions::Parse(
-    const std::map<std::string, std::string>& flags) {
+    const std::map<std::string, std::string>& flags,
+    const std::vector<std::string>& passthrough) {
+  // The one list of engine flag names; a key outside it (and outside the
+  // caller's declared passthrough) is a typo, not something to silently
+  // ignore.
+  static const std::set<std::string>* const kRecognized =
+      new std::set<std::string>{
+          "epsilon",        "delta",         "alpha",
+          "beta",           "seed",          "transform",
+          "k-override",     "s-override",    "noise",
+          "placement",      "threads",       "shards",
+          "serving-threads", "queue-capacity", "tenant-quota",
+          "deadline-ms"};
+  for (const auto& entry : flags) {
+    if (kRecognized->count(entry.first) == 0 &&
+        std::find(passthrough.begin(), passthrough.end(), entry.first) ==
+            passthrough.end()) {
+      return Status::InvalidArgument(
+          "unknown flag --" + entry.first +
+          " (not an engine flag; see EngineOptions::Parse for the "
+          "recognized set, or declare caller-specific keys as passthrough)");
+    }
+  }
   EngineOptions options;
   const auto find = [&flags](const char* key) -> const std::string* {
     const auto it = flags.find(key);
@@ -180,6 +204,10 @@ Result<EngineOptions> EngineOptions::Parse(
     DPJL_ASSIGN_OR_RETURN(options.queue_capacity,
                           ParseIntFlag("queue-capacity", *raw, 1, 1 << 20));
   }
+  if (const std::string* raw = find("tenant-quota")) {
+    DPJL_ASSIGN_OR_RETURN(options.tenant_quota,
+                          ParseIntFlag("tenant-quota", *raw, 0, 1 << 20));
+  }
   if (const std::string* raw = find("deadline-ms")) {
     DPJL_ASSIGN_OR_RETURN(
         options.default_deadline_ms,
@@ -204,6 +232,7 @@ std::string EngineOptions::ToString() const {
       << " --seed=" << sketcher.projection_seed << " --threads=" << threads
       << " --shards=" << num_shards << " --serving-threads=" << serving_threads
       << " --queue-capacity=" << queue_capacity
+      << " --tenant-quota=" << tenant_quota
       << " --deadline-ms=" << default_deadline_ms;
   return out.str();
 }
@@ -221,6 +250,10 @@ Status EngineOptions::Validate() const {
   }
   if (queue_capacity < 1) {
     return Status::InvalidArgument("queue-capacity must be at least 1");
+  }
+  if (tenant_quota < 0) {
+    return Status::InvalidArgument(
+        "tenant-quota must be non-negative (0 = unlimited)");
   }
   if (default_deadline_ms < 0) {
     return Status::InvalidArgument(
@@ -252,7 +285,8 @@ Engine::Engine(EngineOptions options, std::optional<PrivateSketcher> sketcher,
     : options_(std::move(options)),
       sketcher_(std::move(sketcher)),
       index_(std::move(index)),
-      queue_(options_.queue_capacity) {
+      queue_(std::make_shared<RequestQueue>(options_.queue_capacity,
+                                            options_.tenant_quota)) {
   const int threads =
       options_.threads == 0 ? ThreadPool::DefaultThreadCount() : options_.threads;
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
@@ -264,7 +298,7 @@ void Engine::EnsureServing() {
     servers_.reserve(static_cast<size_t>(options_.serving_threads));
     for (int i = 0; i < options_.serving_threads; ++i) {
       servers_.emplace_back([this] {
-        while (queue_.ServeOne()) {
+        while (queue_->ServeOne()) {
         }
       });
     }
@@ -272,7 +306,7 @@ void Engine::EnsureServing() {
 }
 
 Engine::~Engine() {
-  queue_.Close();
+  queue_->Close();
   for (std::thread& server : servers_) server.join();
 }
 
@@ -304,6 +338,12 @@ Result<std::vector<PrivateSketch>> Engine::SketchBatch(
 Status Engine::Insert(std::string id, PrivateSketch sketch) {
   std::unique_lock<std::shared_mutex> lock(index_mutex_);
   return index_.Add(std::move(id), std::move(sketch));
+}
+
+Status Engine::InsertBatch(
+    std::vector<std::pair<std::string, PrivateSketch>> items) {
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  return index_.AddBatch(std::move(items));
 }
 
 Status Engine::InsertVector(std::string id, const std::vector<double>& x,
@@ -367,9 +407,19 @@ RequestQueue::Clock::time_point Engine::DeadlineFor(int64_t deadline_ms) const {
   return now + std::chrono::milliseconds(ms);
 }
 
+namespace {
+
+RequestOptions WithDeadline(int64_t deadline_ms) {
+  RequestOptions options;
+  options.deadline_ms = deadline_ms;
+  return options;
+}
+
+}  // namespace
+
 EngineFuture<PrivateSketch> Engine::SubmitSketch(std::vector<double> x,
                                                  uint64_t noise_seed,
-                                                 int64_t deadline_ms) {
+                                                 const RequestOptions& request) {
   return Submit<PrivateSketch>(
       [this, x = std::move(x), noise_seed]() -> Result<PrivateSketch> {
         if (!sketcher_.has_value()) {
@@ -378,36 +428,119 @@ EngineFuture<PrivateSketch> Engine::SubmitSketch(std::vector<double> x,
         }
         return sketcher_->Sketch(x, noise_seed);
       },
-      deadline_ms);
+      request);
+}
+
+EngineFuture<PrivateSketch> Engine::SubmitSketch(std::vector<double> x,
+                                                 uint64_t noise_seed,
+                                                 int64_t deadline_ms) {
+  return SubmitSketch(std::move(x), noise_seed, WithDeadline(deadline_ms));
 }
 
 EngineFuture<std::vector<SketchIndex::Neighbor>> Engine::SubmitQuery(
-    PrivateSketch query, int64_t top_n, int64_t deadline_ms) {
+    PrivateSketch query, int64_t top_n, const RequestOptions& request) {
   return Submit<std::vector<SketchIndex::Neighbor>>(
       [this, query = std::move(query), top_n]() {
         return NearestNeighbors(query, top_n);
       },
-      deadline_ms);
+      request);
+}
+
+EngineFuture<std::vector<SketchIndex::Neighbor>> Engine::SubmitQuery(
+    PrivateSketch query, int64_t top_n, int64_t deadline_ms) {
+  return SubmitQuery(std::move(query), top_n, WithDeadline(deadline_ms));
+}
+
+EngineFuture<std::vector<std::vector<SketchIndex::Neighbor>>>
+Engine::SubmitQueryBatch(std::vector<PrivateSketch> queries, int64_t top_n,
+                         const RequestOptions& request) {
+  return Submit<std::vector<std::vector<SketchIndex::Neighbor>>>(
+      [this, queries = std::move(queries), top_n]()
+          -> Result<std::vector<std::vector<SketchIndex::Neighbor>>> {
+        // One read-lock acquisition for the whole batch; probes fan across
+        // the pool with the deterministic chunking. Each probe's shard
+        // scan runs serially (no nested ParallelFor) — by the index's
+        // determinism contract the result is byte-identical to the
+        // pool-parallel scan a lone SubmitQuery performs.
+        std::shared_lock<std::shared_mutex> lock(index_mutex_);
+        const int64_t n = static_cast<int64_t>(queries.size());
+        std::vector<std::vector<SketchIndex::Neighbor>> results(queries.size());
+        std::vector<Status> probe_status(queries.size());
+        ThreadPool::Run(pool_.get(), 0, n, 1, [&](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            const size_t slot = static_cast<size_t>(i);
+            auto probe = index_.NearestNeighbors(queries[slot], top_n,
+                                                 /*pool=*/nullptr);
+            if (!probe.ok()) {
+              probe_status[slot] = probe.status();
+              continue;
+            }
+            results[slot] = std::move(*probe);
+          }
+        });
+        for (const Status& status : probe_status) DPJL_RETURN_IF_ERROR(status);
+        return results;
+      },
+      request);
 }
 
 EngineFuture<double> Engine::SubmitEstimate(std::string id_a, std::string id_b,
-                                            int64_t deadline_ms) {
+                                            const RequestOptions& request) {
   return Submit<double>(
       [this, id_a = std::move(id_a), id_b = std::move(id_b)]() {
         return SquaredDistance(id_a, id_b);
       },
-      deadline_ms);
+      request);
+}
+
+EngineFuture<double> Engine::SubmitEstimate(std::string id_a, std::string id_b,
+                                            int64_t deadline_ms) {
+  return SubmitEstimate(std::move(id_a), std::move(id_b),
+                        WithDeadline(deadline_ms));
 }
 
 EngineFuture<bool> Engine::SubmitTask(std::function<Status()> task,
-                                      int64_t deadline_ms) {
+                                      const RequestOptions& request) {
   return Submit<bool>(
       [task = std::move(task)]() -> Result<bool> {
         const Status status = task();
         if (!status.ok()) return status;
         return true;
       },
-      deadline_ms);
+      request);
+}
+
+EngineFuture<bool> Engine::SubmitTask(std::function<Status()> task,
+                                      int64_t deadline_ms) {
+  return SubmitTask(std::move(task), WithDeadline(deadline_ms));
+}
+
+EngineStats Engine::Stats() const {
+  EngineStats stats;
+  stats.queue = queue_->GetStats();
+  stats.index_size = index_size();
+  return stats;
+}
+
+void Engine::WaitIdle() const { queue_->WaitIdle(); }
+
+std::string EngineStats::ToString() const {
+  std::ostringstream out;
+  for (int lane = 0; lane < kNumPriorityLanes; ++lane) {
+    const auto& counters = queue.lanes[static_cast<size_t>(lane)];
+    const std::string_view name = PriorityName(static_cast<Priority>(lane));
+    out << "lane." << name << ".depth\t" << counters.depth << "\n"
+        << "lane." << name << ".served\t" << counters.served << "\n"
+        << "lane." << name << ".expired\t" << counters.expired << "\n"
+        << "lane." << name << ".refused\t" << counters.refused << "\n"
+        << "lane." << name << ".cancelled\t" << counters.cancelled << "\n";
+  }
+  out << "deadline_misses\t" << queue.deadline_misses << "\n";
+  for (const auto& tenant : queue.tenant_usage) {
+    out << "tenant." << tenant.first << ".usage\t" << tenant.second << "\n";
+  }
+  out << "index_size\t" << index_size << "\n";
+  return out.str();
 }
 
 }  // namespace dpjl

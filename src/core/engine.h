@@ -51,6 +51,12 @@ struct EngineOptions {
   /// it Submit* fails fast with kResourceExhausted.
   int64_t queue_capacity = 256;
 
+  /// Per-tenant bound on queued + in-flight async requests (admission
+  /// refuses over-quota submissions with kResourceExhausted); 0 means
+  /// unlimited. Applies only to requests submitted with a non-empty
+  /// RequestOptions::tenant.
+  int64_t tenant_quota = 0;
+
   /// Default per-request deadline in milliseconds for Submit* calls that
   /// do not pass their own; 0 means no deadline.
   int64_t default_deadline_ms = 0;
@@ -58,12 +64,15 @@ struct EngineOptions {
   /// Parses the recognized keys out of a `--key value` flag map (the form
   /// dpjl_tool already builds): epsilon, delta, alpha, beta, seed,
   /// transform, k-override, s-override, noise, placement, threads, shards,
-  /// serving-threads, queue-capacity, deadline-ms. Unrecognized keys are
-  /// ignored so callers can keep their own flags (e.g. --input) in the
-  /// same map; recognized keys with malformed or out-of-domain values are
-  /// errors.
+  /// serving-threads, queue-capacity, tenant-quota, deadline-ms. A key
+  /// that is neither recognized nor listed in `passthrough` is an error
+  /// (catching typos like --epsilno); callers that keep their own flags in
+  /// the same map (e.g. dpjl_tool's --input) declare them via
+  /// `passthrough`. Recognized keys with malformed or out-of-domain
+  /// values are errors.
   static Result<EngineOptions> Parse(
-      const std::map<std::string, std::string>& flags);
+      const std::map<std::string, std::string>& flags,
+      const std::vector<std::string>& passthrough = {});
 
   /// Canonical `--key=value` rendering of every recognized key; feeding it
   /// back through Parse reproduces the options.
@@ -99,7 +108,8 @@ struct FutureState {
 /// observe the same result. The result is a Result<T>: the computed value,
 /// or the status the request failed with (`kDeadlineExceeded` when it
 /// expired in the queue, `kResourceExhausted` when it was refused at
-/// admission, or the underlying operation's own error).
+/// admission, `kCancelled` when Cancel() won, or the underlying
+/// operation's own error).
 template <typename T>
 class EngineFuture {
  public:
@@ -122,12 +132,47 @@ class EngineFuture {
     return *state_->result;
   }
 
+  /// Cancels the request if it is still queued: the future resolves with
+  /// `kCancelled` in O(1), the request never occupies a serving lane, and
+  /// true is returned. Returns false when the request already left the
+  /// queue (served, expired, refused at admission) or the engine is gone —
+  /// a cancel/serve race resolves to exactly one outcome. Safe from any
+  /// thread, and safe after the engine's destruction.
+  bool Cancel() {
+    DPJL_CHECK(valid(), "EngineFuture is default-constructed");
+    if (ticket_ == RequestQueue::kNoTicket) return false;
+    const std::shared_ptr<RequestQueue> queue = queue_.lock();
+    return queue != nullptr && queue->Cancel(ticket_);
+  }
+
  private:
   friend class Engine;
-  explicit EngineFuture(std::shared_ptr<internal::FutureState<T>> state)
-      : state_(std::move(state)) {}
+  explicit EngineFuture(std::shared_ptr<internal::FutureState<T>> state,
+                        std::weak_ptr<RequestQueue> queue = {},
+                        RequestQueue::Ticket ticket = RequestQueue::kNoTicket)
+      : state_(std::move(state)), queue_(std::move(queue)), ticket_(ticket) {}
 
   std::shared_ptr<internal::FutureState<T>> state_;
+  std::weak_ptr<RequestQueue> queue_;
+  RequestQueue::Ticket ticket_ = RequestQueue::kNoTicket;
+};
+
+/// Snapshot of the serving layer's observable state: per-lane scheduler
+/// counters, the total deadline-miss count, per-tenant usage, and the
+/// index size. Obtained from Engine::Stats(); internally consistent,
+/// advisory under concurrency.
+struct EngineStats {
+  RequestQueue::Stats queue;
+  int64_t index_size = 0;
+
+  const RequestQueue::LaneStats& lane(Priority priority) const {
+    return queue.lane(priority);
+  }
+
+  /// Stable multi-line `key<TAB>value` rendering (the dpjl_tool stats
+  /// dump): one line per lane counter, deadline misses, per-tenant usage,
+  /// index size.
+  std::string ToString() const;
 };
 
 /// The library's serving facade: one object owning the sketcher, batch
@@ -149,15 +194,12 @@ class EngineFuture {
 /// serialize only against mutation.
 class Engine {
  public:
-  /// Use the options' default_deadline_ms for this request. Deliberately
-  /// INT64_MIN rather than -1 so that a budget-propagating caller's
-  /// `total - elapsed` arithmetic can never collide with the sentinel:
-  /// every plausibly computed negative budget is "expired on arrival".
-  static constexpr int64_t kDefaultDeadline =
-      std::numeric_limits<int64_t>::min();
+  /// Deadline sentinels, re-exported from RequestOptions (see there for
+  /// why the default sentinel is INT64_MIN rather than -1).
+  static constexpr int64_t kDefaultDeadline = RequestOptions::kDefaultDeadline;
   /// No deadline for this request (also the meaning of
   /// default_deadline_ms == 0).
-  static constexpr int64_t kNoDeadline = 0;
+  static constexpr int64_t kNoDeadline = RequestOptions::kNoDeadline;
 
   /// Full engine: validates `options`, builds the sketcher for input
   /// dimension `d`, the pool, the index and the serving threads.
@@ -202,6 +244,10 @@ class Engine {
   /// Inserts into the owned index (exclusive; concurrent queries wait).
   Status Insert(std::string id, PrivateSketch sketch);
 
+  /// Bulk insertion via SketchIndex::AddBatch: one compatibility check and
+  /// one write-lock acquisition for the whole batch, all-or-nothing.
+  Status InsertBatch(std::vector<std::pair<std::string, PrivateSketch>> items);
+
   /// Convenience: sketch then insert. Aborts on a serving-only engine.
   Status InsertVector(std::string id, const std::vector<double>& x,
                       uint64_t noise_seed);
@@ -221,26 +267,52 @@ class Engine {
 
   // --- asynchronous API ---
   //
-  // Each Submit* enqueues the request and returns immediately. `deadline_ms`
-  // is this request's budget from submission: > 0 sets a deadline,
-  // kNoDeadline (0) disables it, kDefaultDeadline (INT64_MIN) uses
-  // options().default_deadline_ms, and any other negative value means the
-  // caller's budget is already exhausted — the request is admitted but
-  // fails with kDeadlineExceeded (so budget-propagating callers can pass
-  // `total - elapsed` verbatim). A request whose deadline passes while
-  // queued fails with kDeadlineExceeded without occupying a serving thread;
-  // a full queue refuses admission with kResourceExhausted (the returned
-  // future is already Ready).
+  // Each Submit* enqueues the request and returns immediately. Every
+  // overload accepts a `RequestOptions` (priority lane, tenant, deadline
+  // budget); the deadline-only overloads forward with default options and
+  // exist so pre-RequestOptions callers keep compiling unchanged.
+  //
+  // `RequestOptions::deadline_ms` is this request's budget from
+  // submission: > 0 sets a deadline, kNoDeadline (0) disables it,
+  // kDefaultDeadline (INT64_MIN) uses options().default_deadline_ms, and
+  // any other negative value means the caller's budget is already
+  // exhausted — the request is admitted but fails with kDeadlineExceeded
+  // (so budget-propagating callers can pass `total - elapsed` verbatim).
+  //
+  // Outcomes: a request whose deadline passes while queued fails with
+  // kDeadlineExceeded without occupying a serving thread; a full queue —
+  // or a tenant at its quota — refuses admission with kResourceExhausted
+  // (the returned future is already Ready); Cancel() on a still-queued
+  // request resolves it with kCancelled. Lanes drain in strict priority
+  // order (kInteractive before kBatch before kBestEffort, FIFO within a
+  // lane), so a bulk backfill submitted at kBatch can never starve
+  // interactive queries.
 
+  EngineFuture<PrivateSketch> SubmitSketch(std::vector<double> x,
+                                           uint64_t noise_seed,
+                                           const RequestOptions& request);
   EngineFuture<PrivateSketch> SubmitSketch(std::vector<double> x,
                                            uint64_t noise_seed,
                                            int64_t deadline_ms = kDefaultDeadline);
 
   EngineFuture<std::vector<SketchIndex::Neighbor>> SubmitQuery(
+      PrivateSketch query, int64_t top_n, const RequestOptions& request);
+  EngineFuture<std::vector<SketchIndex::Neighbor>> SubmitQuery(
       PrivateSketch query, int64_t top_n,
       int64_t deadline_ms = kDefaultDeadline);
 
+  /// Many probes, one admission: the batch occupies a single queue slot
+  /// (one quota unit, one queue hop) and, once popped, fans the probes
+  /// across the thread pool with the same deterministic chunking every
+  /// parallel path uses. result[i] is byte-identical to
+  /// `SubmitQuery(queries[i], top_n)` at any thread count.
+  EngineFuture<std::vector<std::vector<SketchIndex::Neighbor>>>
+  SubmitQueryBatch(std::vector<PrivateSketch> queries, int64_t top_n,
+                   const RequestOptions& request = {});
+
   /// Squared-distance estimate between two stored ids (kNotFound if absent).
+  EngineFuture<double> SubmitEstimate(std::string id_a, std::string id_b,
+                                      const RequestOptions& request);
   EngineFuture<double> SubmitEstimate(std::string id_a, std::string id_b,
                                       int64_t deadline_ms = kDefaultDeadline);
 
@@ -249,7 +321,20 @@ class Engine {
   /// for work that should share the serving lanes (snapshots, warmup) and
   /// the lever the concurrency tests use to hold a lane deterministically.
   EngineFuture<bool> SubmitTask(std::function<Status()> task,
+                                const RequestOptions& request);
+  EngineFuture<bool> SubmitTask(std::function<Status()> task,
                                 int64_t deadline_ms = kDefaultDeadline);
+
+  /// Observability snapshot: per-lane depth/served/expired/refused/
+  /// cancelled counters, total deadline misses, per-tenant usage, index
+  /// size. Cheap (one lock, no allocation proportional to traffic).
+  EngineStats Stats() const;
+
+  /// Blocks until the async backlog is fully drained — nothing queued and
+  /// every popped request's bookkeeping (tenant-slot release) finished —
+  /// so a Stats() taken afterwards shows the quiesced state. Concurrent
+  /// submitters extend the wait; never call from inside a submitted task.
+  void WaitIdle() const;
 
  private:
   Engine(EngineOptions options, std::optional<PrivateSketcher> sketcher,
@@ -266,17 +351,23 @@ class Engine {
 
   template <typename T>
   EngineFuture<T> Submit(std::function<Result<T>()> compute,
-                         int64_t deadline_ms) {
+                         const RequestOptions& options) {
     EnsureServing();
     auto state = std::make_shared<internal::FutureState<T>>();
     RequestQueue::Request request;
-    request.deadline = DeadlineFor(deadline_ms);
+    request.deadline = DeadlineFor(options.deadline_ms);
+    request.priority = options.priority;
+    request.tenant = options.tenant;
     request.handler = [state, compute = std::move(compute)](const Status& admitted) {
       state->Set(admitted.ok() ? compute() : Result<T>(admitted));
     };
-    const Status pushed = queue_.TryPush(std::move(request));
-    if (!pushed.ok()) state->Set(pushed);
-    return EngineFuture<T>(std::move(state));
+    const Result<RequestQueue::Ticket> pushed =
+        queue_->TryPush(std::move(request));
+    if (!pushed.ok()) {
+      state->Set(pushed.status());
+      return EngineFuture<T>(std::move(state));
+    }
+    return EngineFuture<T>(std::move(state), queue_, *pushed);
   }
 
   const EngineOptions options_;
@@ -287,7 +378,9 @@ class Engine {
   mutable std::shared_mutex index_mutex_;
   SketchIndex index_;
 
-  RequestQueue queue_;
+  /// shared_ptr so futures can hold a weak reference for Cancel() that
+  /// outlives the engine safely.
+  std::shared_ptr<RequestQueue> queue_;
   std::once_flag servers_started_;
   std::vector<std::thread> servers_;
 };

@@ -74,6 +74,43 @@ Status SketchIndex::Add(std::string id, PrivateSketch sketch) {
   return Status::OK();
 }
 
+Status SketchIndex::AddBatch(
+    std::vector<std::pair<std::string, PrivateSketch>> items) {
+  if (items.empty()) return Status::OK();
+  // One reference metadata for the whole batch: the projection already
+  // stored, or the batch's own first sketch on an empty index. Every item
+  // checks against it once — no per-insert rescan of the stored state.
+  const SketchMetadata& reference = order_.empty()
+                                        ? items.front().second.metadata()
+                                        : Find(order_.front())->metadata();
+  std::unordered_map<std::string, size_t> batch_ids;
+  batch_ids.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    const std::string& id = items[i].first;
+    if (!batch_ids.emplace(id, i).second) {
+      return Status::InvalidArgument("duplicate sketch id in batch: " + id);
+    }
+    if (shards_[ShardOf(id)].by_id.count(id) > 0) {
+      return Status::InvalidArgument("duplicate sketch id: " + id);
+    }
+    if (!reference.CompatibleWith(items[i].second.metadata())) {
+      return Status::FailedPrecondition(
+          "batch item '" + id +
+          "' is incompatible with the index's projection");
+    }
+  }
+  // Validated: commit the whole batch (no fallible step below).
+  order_.reserve(order_.size() + items.size());
+  for (auto& item : items) {
+    Shard& shard = shards_[ShardOf(item.first)];
+    order_.push_back(item.first);
+    shard.by_id.emplace(item.first, shard.entries.size());
+    shard.entries.push_back(
+        Entry{std::move(item.first), std::move(item.second)});
+  }
+  return Status::OK();
+}
+
 const PrivateSketch* SketchIndex::Find(const std::string& id) const {
   const Shard& shard = shards_[ShardOf(id)];
   auto it = shard.by_id.find(id);

@@ -5,6 +5,7 @@
 #include <deque>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/result.h"
@@ -49,6 +50,15 @@ class SketchIndex {
   /// incompatible with those already stored. Pointers previously returned
   /// by Find() remain valid (per-shard deque storage).
   Status Add(std::string id, PrivateSketch sketch);
+
+  /// Bulk ingestion: validates the whole batch up front — ids distinct
+  /// within the batch and absent from the index, every sketch compatible
+  /// with one reference (the stored projection, or the batch's first item
+  /// on an empty index) — then builds shard membership in one pass,
+  /// without the per-Add compatibility rescan. All-or-nothing: on any
+  /// non-OK status the index is unchanged. Pointers previously returned
+  /// by Find() remain valid. Insertion order is the batch order.
+  Status AddBatch(std::vector<std::pair<std::string, PrivateSketch>> items);
 
   int64_t size() const { return static_cast<int64_t>(order_.size()); }
   int num_shards() const { return static_cast<int>(shards_.size()); }

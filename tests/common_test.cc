@@ -38,6 +38,7 @@ TEST(StatusTest, AllCodesHaveNames) {
             "deadline_exceeded");
   EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
             "resource_exhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "cancelled");
 }
 
 TEST(StatusTest, ServingCodeFactories) {
@@ -47,6 +48,9 @@ TEST(StatusTest, ServingCodeFactories) {
   const Status full = Status::ResourceExhausted("queue full");
   EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(full.ToString(), "resource_exhausted: queue full");
+  const Status withdrawn = Status::Cancelled("caller cancelled the request");
+  EXPECT_EQ(withdrawn.code(), StatusCode::kCancelled);
+  EXPECT_EQ(withdrawn.ToString(), "cancelled: caller cancelled the request");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

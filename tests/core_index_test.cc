@@ -61,6 +61,86 @@ TEST(SketchIndexTest, RejectsIncompatibleSketches) {
             StatusCode::kFailedPrecondition);
 }
 
+TEST(SketchIndexTest, AddBatchEquivalentToSequentialAdds) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  Rng rng(kTestSeed);
+  std::vector<std::pair<std::string, PrivateSketch>> items;
+  SketchIndex sequential(4);
+  for (int i = 0; i < 13; ++i) {
+    const PrivateSketch sketch = sketcher.Sketch(
+        DenseGaussianVector(d, 1.0, &rng), 100 + static_cast<uint64_t>(i));
+    const std::string id = "doc-" + std::to_string((i * 5) % 13);
+    ASSERT_TRUE(sequential.Add(id, sketch).ok());
+    items.emplace_back(id, sketch);
+  }
+  SketchIndex bulk(4);
+  ASSERT_TRUE(bulk.AddBatch(std::move(items)).ok());
+  EXPECT_EQ(bulk.size(), sequential.size());
+  EXPECT_EQ(bulk.ids(), sequential.ids());
+  EXPECT_EQ(bulk.Serialize(), sequential.Serialize());
+  EXPECT_NE(bulk.Find("doc-0"), nullptr);
+}
+
+TEST(SketchIndexTest, AddBatchIntoPopulatedIndexChecksAgainstStored) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  Rng rng(kTestSeed);
+  SketchIndex index(2);
+  ASSERT_TRUE(
+      index.Add("seed", sketcher.Sketch(DenseGaussianVector(d, 1.0, &rng), 1))
+          .ok());
+  std::vector<std::pair<std::string, PrivateSketch>> items;
+  items.emplace_back("a",
+                     sketcher.Sketch(DenseGaussianVector(d, 1.0, &rng), 2));
+  items.emplace_back("b",
+                     sketcher.Sketch(DenseGaussianVector(d, 1.0, &rng), 3));
+  ASSERT_TRUE(index.AddBatch(std::move(items)).ok());
+  EXPECT_EQ(index.ids(), (std::vector<std::string>{"seed", "a", "b"}));
+  // Empty batches are a no-op, not an error.
+  EXPECT_TRUE(index.AddBatch({}).ok());
+  EXPECT_EQ(index.size(), 3);
+}
+
+TEST(SketchIndexTest, AddBatchIsAllOrNothing) {
+  const int64_t d = 64;
+  const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());
+  SketcherConfig other = Base();
+  other.projection_seed = kTestSeed + 1;
+  const PrivateSketcher incompatible = MakeSketcherOrDie(d, other);
+  Rng rng(kTestSeed);
+  const std::vector<double> x = DenseGaussianVector(d, 1.0, &rng);
+
+  SketchIndex index(4);
+  ASSERT_TRUE(index.Add("stored", sketcher.Sketch(x, 1)).ok());
+  const std::string before = index.Serialize();
+
+  // Duplicate against the stored state.
+  std::vector<std::pair<std::string, PrivateSketch>> dup_existing;
+  dup_existing.emplace_back("fresh", sketcher.Sketch(x, 2));
+  dup_existing.emplace_back("stored", sketcher.Sketch(x, 3));
+  EXPECT_EQ(index.AddBatch(std::move(dup_existing)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(index.Serialize(), before);
+
+  // Duplicate within the batch itself.
+  std::vector<std::pair<std::string, PrivateSketch>> dup_internal;
+  dup_internal.emplace_back("twin", sketcher.Sketch(x, 4));
+  dup_internal.emplace_back("twin", sketcher.Sketch(x, 5));
+  EXPECT_EQ(index.AddBatch(std::move(dup_internal)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(index.Serialize(), before);
+
+  // One incompatible sketch poisons the whole batch.
+  std::vector<std::pair<std::string, PrivateSketch>> mixed;
+  mixed.emplace_back("ok", sketcher.Sketch(x, 6));
+  mixed.emplace_back("alien", incompatible.Sketch(x, 7));
+  EXPECT_EQ(index.AddBatch(std::move(mixed)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(index.Serialize(), before);
+  EXPECT_EQ(index.size(), 1);
+}
+
 TEST(SketchIndexTest, SquaredDistanceBetweenStored) {
   const int64_t d = 64;
   const PrivateSketcher sketcher = MakeSketcherOrDie(d, Base());

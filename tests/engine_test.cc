@@ -51,16 +51,28 @@ EngineOptions BaseOptions() {
 // ---------------------------------------------------------------------------
 // RequestQueue
 
+RequestQueue::Request QueueRequest(
+    RequestQueue::Clock::time_point deadline,
+    std::function<void(const Status&)> handler,
+    Priority priority = Priority::kInteractive, std::string tenant = "") {
+  RequestQueue::Request request;
+  request.deadline = deadline;
+  request.priority = priority;
+  request.tenant = std::move(tenant);
+  request.handler = std::move(handler);
+  return request;
+}
+
 TEST(RequestQueueTest, ServesInFifoOrderWithOkBeforeDeadline) {
   RequestQueue queue(8);
   std::vector<int> order;
   for (int i = 0; i < 3; ++i) {
     ASSERT_TRUE(queue
-                    .TryPush({RequestQueue::kNoDeadline,
-                              [&order, i](const Status& status) {
-                                EXPECT_TRUE(status.ok()) << status;
-                                order.push_back(i);
-                              }})
+                    .TryPush(QueueRequest(RequestQueue::kNoDeadline,
+                                          [&order, i](const Status& status) {
+                                            EXPECT_TRUE(status.ok()) << status;
+                                            order.push_back(i);
+                                          }))
                     .ok());
   }
   EXPECT_EQ(queue.size(), 3);
@@ -69,32 +81,48 @@ TEST(RequestQueueTest, ServesInFifoOrderWithOkBeforeDeadline) {
   EXPECT_EQ(queue.size(), 0);
 }
 
+TEST(RequestQueueTest, TicketsAreStrictlyIncreasing) {
+  RequestQueue queue(8);
+  const auto noop = [](const Status&) {};
+  RequestQueue::Ticket last = RequestQueue::kNoTicket;
+  for (int i = 0; i < 3; ++i) {
+    const auto ticket = queue.TryPush(QueueRequest(RequestQueue::kNoDeadline, noop));
+    ASSERT_TRUE(ticket.ok());
+    EXPECT_GT(*ticket, last);
+    last = *ticket;
+  }
+}
+
 TEST(RequestQueueTest, ExpiredRequestFailsWithDeadlineExceeded) {
   RequestQueue queue(4);
   Status seen;
   ASSERT_TRUE(queue
-                  .TryPush({RequestQueue::Clock::now() -
-                                std::chrono::milliseconds(1),
-                            [&seen](const Status& status) { seen = status; }})
+                  .TryPush(QueueRequest(
+                      RequestQueue::Clock::now() - std::chrono::milliseconds(1),
+                      [&seen](const Status& status) { seen = status; }))
                   .ok());
   EXPECT_TRUE(queue.ServeOne());
   EXPECT_EQ(seen.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(queue.GetStats().deadline_misses, 1);
 }
 
 TEST(RequestQueueTest, FullQueueRefusesWithResourceExhaustedWithoutSideEffects) {
   RequestQueue queue(2);
   const auto noop = [](const Status&) {};
-  ASSERT_TRUE(queue.TryPush({RequestQueue::kNoDeadline, noop}).ok());
-  ASSERT_TRUE(queue.TryPush({RequestQueue::kNoDeadline, noop}).ok());
+  ASSERT_TRUE(queue.TryPush(QueueRequest(RequestQueue::kNoDeadline, noop)).ok());
+  ASSERT_TRUE(queue.TryPush(QueueRequest(RequestQueue::kNoDeadline, noop)).ok());
   bool refused_handler_ran = false;
-  const Status refused = queue.TryPush(
-      {RequestQueue::kNoDeadline,
-       [&refused_handler_ran](const Status&) { refused_handler_ran = true; }});
-  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  const auto refused = queue.TryPush(QueueRequest(
+      RequestQueue::kNoDeadline,
+      [&refused_handler_ran](const Status&) { refused_handler_ran = true; }));
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
   EXPECT_FALSE(refused_handler_ran);
   EXPECT_EQ(queue.size(), 2);
   EXPECT_TRUE(queue.ServeOne());
   EXPECT_TRUE(queue.ServeOne());
+  const auto stats = queue.GetStats();
+  EXPECT_EQ(stats.lane(Priority::kInteractive).refused, 1);
+  EXPECT_EQ(stats.lane(Priority::kInteractive).served, 2);
 }
 
 TEST(RequestQueueTest, CloseStopsAdmissionsAndDrainsAcceptedWork) {
@@ -104,10 +132,12 @@ TEST(RequestQueueTest, CloseStopsAdmissionsAndDrainsAcceptedWork) {
     EXPECT_TRUE(status.ok());
     ++served;
   };
-  ASSERT_TRUE(queue.TryPush({RequestQueue::kNoDeadline, count}).ok());
-  ASSERT_TRUE(queue.TryPush({RequestQueue::kNoDeadline, count}).ok());
+  ASSERT_TRUE(queue.TryPush(QueueRequest(RequestQueue::kNoDeadline, count)).ok());
+  ASSERT_TRUE(queue.TryPush(QueueRequest(RequestQueue::kNoDeadline, count)).ok());
   queue.Close();
-  EXPECT_EQ(queue.TryPush({RequestQueue::kNoDeadline, count}).code(),
+  EXPECT_EQ(queue.TryPush(QueueRequest(RequestQueue::kNoDeadline, count))
+                .status()
+                .code(),
             StatusCode::kFailedPrecondition);
   EXPECT_TRUE(queue.ServeOne());
   EXPECT_TRUE(queue.ServeOne());
@@ -119,26 +149,192 @@ TEST(RequestQueueTest, DestructorFailsRequestsNobodyServed) {
   Status seen;
   {
     RequestQueue queue(2);
-    ASSERT_TRUE(queue
-                    .TryPush({RequestQueue::kNoDeadline,
-                              [&seen](const Status& status) { seen = status; }})
-                    .ok());
+    ASSERT_TRUE(
+        queue
+            .TryPush(QueueRequest(
+                RequestQueue::kNoDeadline,
+                [&seen](const Status& status) { seen = status; }))
+            .ok());
   }
   EXPECT_EQ(seen.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RequestQueueTest, StrictPriorityAcrossLanesFifoWithinALane) {
+  RequestQueue queue(16);
+  std::vector<std::string> order;
+  const auto record = [&order](std::string tag) {
+    return [&order, tag = std::move(tag)](const Status& status) {
+      EXPECT_TRUE(status.ok()) << status;
+      order.push_back(tag);
+    };
+  };
+  // Admitted in "wrong" order on purpose: lanes, not arrival, decide.
+  ASSERT_TRUE(queue
+                  .TryPush(QueueRequest(RequestQueue::kNoDeadline,
+                                        record("e0"), Priority::kBestEffort))
+                  .ok());
+  ASSERT_TRUE(queue
+                  .TryPush(QueueRequest(RequestQueue::kNoDeadline,
+                                        record("b0"), Priority::kBatch))
+                  .ok());
+  ASSERT_TRUE(queue
+                  .TryPush(QueueRequest(RequestQueue::kNoDeadline,
+                                        record("i0"), Priority::kInteractive))
+                  .ok());
+  ASSERT_TRUE(queue
+                  .TryPush(QueueRequest(RequestQueue::kNoDeadline,
+                                        record("b1"), Priority::kBatch))
+                  .ok());
+  ASSERT_TRUE(queue
+                  .TryPush(QueueRequest(RequestQueue::kNoDeadline,
+                                        record("i1"), Priority::kInteractive))
+                  .ok());
+  while (queue.size() > 0) EXPECT_TRUE(queue.ServeOne());
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"i0", "i1", "b0", "b1", "e0"}));
+  const auto stats = queue.GetStats();
+  EXPECT_EQ(stats.lane(Priority::kInteractive).served, 2);
+  EXPECT_EQ(stats.lane(Priority::kBatch).served, 2);
+  EXPECT_EQ(stats.lane(Priority::kBestEffort).served, 1);
+}
+
+TEST(RequestQueueTest, TenantQuotaCountsQueuedAndInFlight) {
+  RequestQueue queue(8, /*tenant_quota=*/1);
+  const auto noop = [](const Status&) {};
+  // While tenant-a's request runs (in flight, popped off the queue), the
+  // tenant is still at quota; once ServeOne returns, the slot is free.
+  Status while_in_flight;
+  ASSERT_TRUE(queue
+                  .TryPush(QueueRequest(
+                      RequestQueue::kNoDeadline,
+                      [&](const Status& status) {
+                        EXPECT_TRUE(status.ok());
+                        while_in_flight =
+                            queue
+                                .TryPush(QueueRequest(RequestQueue::kNoDeadline,
+                                                      noop,
+                                                      Priority::kInteractive,
+                                                      "tenant-a"))
+                                .status();
+                      },
+                      Priority::kInteractive, "tenant-a"))
+                  .ok());
+  EXPECT_TRUE(queue.ServeOne());
+  EXPECT_EQ(while_in_flight.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(
+      queue
+          .TryPush(QueueRequest(RequestQueue::kNoDeadline, noop,
+                                Priority::kInteractive, "tenant-a"))
+          .ok());
+  EXPECT_TRUE(queue.ServeOne());
+}
+
+TEST(RequestQueueTest, TenantQuotaRefusesOnlyTheOverQuotaTenant) {
+  RequestQueue queue(16, /*tenant_quota=*/2);
+  const auto noop = [](const Status&) {};
+  const auto push = [&queue, &noop](const std::string& tenant) {
+    return queue.TryPush(QueueRequest(RequestQueue::kNoDeadline, noop,
+                                      Priority::kInteractive, tenant));
+  };
+  ASSERT_TRUE(push("alice").ok());
+  ASSERT_TRUE(push("alice").ok());
+  const auto refused = push("alice");
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  // Other tenants and unmetered requests are unaffected.
+  EXPECT_TRUE(push("bob").ok());
+  EXPECT_TRUE(push("").ok());
+  const auto stats = queue.GetStats();
+  EXPECT_EQ(stats.tenant_usage.at("alice"), 2);
+  EXPECT_EQ(stats.tenant_usage.at("bob"), 1);
+  EXPECT_EQ(stats.tenant_usage.count(""), 0u);
+  EXPECT_EQ(stats.lane(Priority::kInteractive).refused, 1);
+  while (queue.size() > 0) EXPECT_TRUE(queue.ServeOne());
+  EXPECT_TRUE(queue.GetStats().tenant_usage.empty());
+}
+
+TEST(RequestQueueTest, CancelStormCompactsLaneAndQueueStaysServable) {
+  // A cancel-heavy caller must not grow a lane without bound while other
+  // lanes keep it from draining: stale tickets are compacted away once
+  // they outnumber the live ones, and the lane stays fully servable.
+  RequestQueue queue(1 << 12);
+  const auto noop = [](const Status&) {};
+  // A live interactive request sits queued the whole time, so nothing
+  // ever pops (and lazily reclaims) the best-effort lane.
+  ASSERT_TRUE(queue.TryPush(QueueRequest(RequestQueue::kNoDeadline, noop)).ok());
+  for (int round = 0; round < 300; ++round) {
+    const auto ticket = queue.TryPush(QueueRequest(
+        RequestQueue::kNoDeadline, noop, Priority::kBestEffort));
+    ASSERT_TRUE(ticket.ok());
+    EXPECT_TRUE(queue.Cancel(*ticket));
+  }
+  auto stats = queue.GetStats();
+  EXPECT_EQ(stats.lane(Priority::kBestEffort).cancelled, 300);
+  EXPECT_EQ(stats.lane(Priority::kBestEffort).depth, 0);
+  EXPECT_EQ(queue.size(), 1);
+  // The lane still serves live work in order after the storm.
+  int served = 0;
+  ASSERT_TRUE(queue
+                  .TryPush(QueueRequest(RequestQueue::kNoDeadline,
+                                        [&served](const Status& status) {
+                                          EXPECT_TRUE(status.ok());
+                                          ++served;
+                                        },
+                                        Priority::kBestEffort))
+                  .ok());
+  EXPECT_TRUE(queue.ServeOne());  // the interactive request
+  EXPECT_TRUE(queue.ServeOne());  // the live best-effort request
+  EXPECT_EQ(served, 1);
+  queue.WaitIdle();  // idle queue: returns immediately
+  EXPECT_EQ(queue.GetStats().lane(Priority::kBestEffort).served, 1);
+}
+
+TEST(RequestQueueTest, CancelQueuedRequestResolvesCancelledWithoutServing) {
+  RequestQueue queue(8, /*tenant_quota=*/1);
+  Status cancelled_status;
+  const auto ticket = queue.TryPush(QueueRequest(
+      RequestQueue::kNoDeadline,
+      [&cancelled_status](const Status& status) { cancelled_status = status; },
+      Priority::kInteractive, "carol"));
+  ASSERT_TRUE(ticket.ok());
+  int second_served = 0;
+  ASSERT_TRUE(queue
+                  .TryPush(QueueRequest(RequestQueue::kNoDeadline,
+                                        [&second_served](const Status& status) {
+                                          EXPECT_TRUE(status.ok());
+                                          ++second_served;
+                                        }))
+                  .ok());
+  EXPECT_TRUE(queue.Cancel(*ticket));
+  EXPECT_EQ(cancelled_status.code(), StatusCode::kCancelled);
+  // The cancelled request released carol's quota slot and its queue slot.
+  EXPECT_EQ(queue.size(), 1);
+  EXPECT_TRUE(queue.GetStats().tenant_usage.empty());
+  // Cancelling again — or a ticket never issued — is a no-op.
+  EXPECT_FALSE(queue.Cancel(*ticket));
+  EXPECT_FALSE(queue.Cancel(RequestQueue::kNoTicket));
+  EXPECT_FALSE(queue.Cancel(99999));
+  // The lone remaining request is the uncancelled one.
+  EXPECT_TRUE(queue.ServeOne());
+  EXPECT_EQ(second_served, 1);
+  const auto stats = queue.GetStats();
+  EXPECT_EQ(stats.lane(Priority::kInteractive).cancelled, 1);
+  EXPECT_EQ(stats.lane(Priority::kInteractive).served, 1);
+  EXPECT_EQ(stats.lane(Priority::kInteractive).depth, 0);
 }
 
 // ---------------------------------------------------------------------------
 // EngineOptions: the one config path
 
-TEST(EngineOptionsTest, ParseAppliesRecognizedKeysAndIgnoresOthers) {
+TEST(EngineOptionsTest, ParseAppliesRecognizedKeysAndDeclaredPassthrough) {
   const std::map<std::string, std::string> flags = {
       {"epsilon", "4.5"},        {"delta", "1e-6"},
       {"alpha", "0.15"},         {"beta", "0.01"},
       {"seed", "12345"},         {"transform", "fjlt"},
       {"threads", "0"},          {"shards", "32"},
       {"serving-threads", "3"},  {"queue-capacity", "17"},
-      {"deadline-ms", "250"},    {"input", "ignored-tool-flag.csv"}};
-  const auto options = EngineOptions::Parse(flags);
+      {"tenant-quota", "9"},     {"deadline-ms", "250"},
+      {"input", "tool-flag.csv"}};
+  const auto options = EngineOptions::Parse(flags, /*passthrough=*/{"input"});
   ASSERT_TRUE(options.ok()) << options.status();
   EXPECT_DOUBLE_EQ(options->sketcher.epsilon, 4.5);
   EXPECT_DOUBLE_EQ(options->sketcher.delta, 1e-6);
@@ -150,22 +346,45 @@ TEST(EngineOptionsTest, ParseAppliesRecognizedKeysAndIgnoresOthers) {
   EXPECT_EQ(options->num_shards, 32);
   EXPECT_EQ(options->serving_threads, 3);
   EXPECT_EQ(options->queue_capacity, 17);
+  EXPECT_EQ(options->tenant_quota, 9);
   EXPECT_EQ(options->default_deadline_ms, 250);
+}
+
+TEST(EngineOptionsTest, ParseRejectsUnknownKeysUnlessPassedThrough) {
+  // A typo'd engine flag must fail loudly, not be silently ignored.
+  const auto typo = EngineOptions::Parse({{"epsilno", "2.0"}});
+  ASSERT_FALSE(typo.ok());
+  EXPECT_EQ(typo.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(typo.status().message().find("epsilno"), std::string::npos)
+      << typo.status();
+
+  // Undeclared caller-specific keys are unknown too …
+  EXPECT_FALSE(EngineOptions::Parse({{"input", "a.csv"}}).ok());
+  // … and declaring one key does not whitelist the others.
+  EXPECT_FALSE(
+      EngineOptions::Parse({{"input", "a.csv"}, {"outptu", "b"}}, {"input"})
+          .ok());
 }
 
 TEST(EngineOptionsTest, ParseRejectsMalformedOrOutOfDomainValues) {
   const std::vector<std::map<std::string, std::string>> bad = {
-      {{"epsilon", "abc"}},        {{"threads", "-1"}},
-      {{"threads", "10000"}},      {{"shards", "0"}},
+      {{"epsilon", "abc"}},        {{"epsilon", ""}},
+      {{"threads", "-1"}},         {{"threads", "10000"}},
+      {{"threads", "2x"}},         {{"threads", ""}},
+      {{"shards", "0"}},           {{"shards", "1.5"}},
       {{"serving-threads", "0"}},  {{"queue-capacity", "0"}},
-      {{"deadline-ms", "-5"}},     {{"transform", "bogus"}},
-      {{"seed", "-3"}},            {{"k-override", "-1"}},
-      {{"noise", "cauchy"}},       {{"placement", "sideways"}}};
+      {{"queue-capacity", "lots"}}, {{"tenant-quota", "-1"}},
+      {{"tenant-quota", "many"}},  {{"deadline-ms", "-5"}},
+      {{"transform", "bogus"}},    {{"seed", "-3"}},
+      {{"k-override", "-1"}},      {{"noise", "cauchy"}},
+      {{"placement", "sideways"}}};
   for (const auto& flags : bad) {
     const auto options = EngineOptions::Parse(flags);
-    EXPECT_FALSE(options.ok()) << flags.begin()->first;
+    EXPECT_FALSE(options.ok())
+        << flags.begin()->first << "=" << flags.begin()->second;
     EXPECT_EQ(options.status().code(), StatusCode::kInvalidArgument)
         << flags.begin()->first;
+    EXPECT_FALSE(options.status().message().empty());
   }
 }
 
@@ -187,6 +406,7 @@ TEST(EngineOptionsTest, ToStringParseRoundTrip) {
   options.num_shards = 5;
   options.serving_threads = 4;
   options.queue_capacity = 33;
+  options.tenant_quota = 3;
   options.default_deadline_ms = 1500;
 
   // Re-read the canonical "--key=value ..." rendering through a flag map.
@@ -215,6 +435,7 @@ TEST(EngineOptionsTest, ToStringParseRoundTrip) {
   EXPECT_EQ(parsed->num_shards, options.num_shards);
   EXPECT_EQ(parsed->serving_threads, options.serving_threads);
   EXPECT_EQ(parsed->queue_capacity, options.queue_capacity);
+  EXPECT_EQ(parsed->tenant_quota, options.tenant_quota);
   EXPECT_EQ(parsed->default_deadline_ms, options.default_deadline_ms);
 }
 
@@ -422,6 +643,25 @@ TEST(EngineTest, SubmitEstimatePropagatesNotFound) {
 // scenarios deterministically by parking the single serving lane on a gate
 // task the test controls.
 
+/// Parks one serving lane on a gate task; the constructor returns only
+/// once the lane is provably busy. Open() reopens the lane.
+struct LaneGate {
+  std::promise<void> entered;
+  std::promise<void> release;
+  EngineFuture<bool> task;
+
+  explicit LaneGate(Engine* engine) {
+    std::shared_future<void> release_future(release.get_future());
+    task = engine->SubmitTask([this, release_future] {
+      entered.set_value();
+      release_future.wait();
+      return Status::OK();
+    });
+    entered.get_future().wait();
+  }
+  void Open() { release.set_value(); }
+};
+
 TEST(EngineTest, ExpiredQueuedRequestFailsWithoutStallingOthers) {
   const DirectReference ref = MakeReference(11);
   EngineOptions options = BaseOptions();
@@ -436,15 +676,7 @@ TEST(EngineTest, ExpiredQueuedRequestFailsWithoutStallingOthers) {
   }
   const auto sync = engine->NearestNeighbors(ref.probe, 3).value();
 
-  std::promise<void> entered;
-  std::promise<void> release;
-  std::shared_future<void> release_future(release.get_future());
-  const auto gate = engine->SubmitTask([&entered, release_future] {
-    entered.set_value();
-    release_future.wait();
-    return Status::OK();
-  });
-  entered.get_future().wait();  // the lane is now provably busy
+  LaneGate gate(engine.get());
 
   const auto submit_time = RequestQueue::Clock::now();
   const auto doomed = engine->SubmitQuery(ref.probe, 3, /*deadline_ms=*/1);
@@ -453,7 +685,7 @@ TEST(EngineTest, ExpiredQueuedRequestFailsWithoutStallingOthers) {
   // Let the 1 ms deadline lapse while both requests sit in the queue, then
   // reopen the lane.
   std::this_thread::sleep_until(submit_time + std::chrono::milliseconds(20));
-  release.set_value();
+  gate.Open();
 
   const auto doomed_result = doomed.Get();
   ASSERT_FALSE(doomed_result.ok());
@@ -463,7 +695,7 @@ TEST(EngineTest, ExpiredQueuedRequestFailsWithoutStallingOthers) {
   const auto patient_result = patient.Get();
   ASSERT_TRUE(patient_result.ok()) << patient_result.status();
   ExpectSameNeighbors(*patient_result, sync);
-  EXPECT_TRUE(gate.Get().ok());
+  EXPECT_TRUE(gate.task.Get().ok());
 }
 
 TEST(EngineTest, SaturatedQueueRejectsAtAdmissionWithoutStallingInFlight) {
@@ -480,15 +712,7 @@ TEST(EngineTest, SaturatedQueueRejectsAtAdmissionWithoutStallingInFlight) {
   }
   const auto sync = engine->NearestNeighbors(ref.probe, 3).value();
 
-  std::promise<void> entered;
-  std::promise<void> release;
-  std::shared_future<void> release_future(release.get_future());
-  const auto gate = engine->SubmitTask([&entered, release_future] {
-    entered.set_value();
-    release_future.wait();
-    return Status::OK();
-  });
-  entered.get_future().wait();
+  LaneGate gate(engine.get());
 
   // Fill the queue behind the parked lane, then overflow it.
   const auto queued_a = engine->SubmitQuery(ref.probe, 3, Engine::kNoDeadline);
@@ -501,13 +725,269 @@ TEST(EngineTest, SaturatedQueueRejectsAtAdmissionWithoutStallingInFlight) {
   ASSERT_FALSE(refused_result.ok());
   EXPECT_EQ(refused_result.status().code(), StatusCode::kResourceExhausted);
 
-  release.set_value();
+  gate.Open();
   for (const auto& accepted : {queued_a, queued_b}) {
     const auto result = accepted.Get();
     ASSERT_TRUE(result.ok()) << result.status();
     ExpectSameNeighbors(*result, sync);
   }
-  EXPECT_TRUE(gate.Get().ok());
+  EXPECT_TRUE(gate.task.Get().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Priority lanes, per-tenant quotas, cancellation, batched queries, stats.
+// Scenarios are staged deterministically behind a gated single serving lane.
+
+RequestOptions WithPriority(Priority priority, std::string tenant = "") {
+  RequestOptions request;
+  request.priority = priority;
+  request.tenant = std::move(tenant);
+  return request;
+}
+
+TEST(EngineTest, StrictPriorityOrderingUnderGatedLane) {
+  EngineOptions options = BaseOptions();
+  options.serving_threads = 1;
+  options.queue_capacity = 32;
+  std::unique_ptr<Engine> engine = MakeEngineOrDie(64, options);
+
+  LaneGate gate(engine.get());
+
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  const auto record = [&engine, &order_mutex, &order](
+                          std::string tag, const RequestOptions& request) {
+    return engine->SubmitTask(
+        [&order_mutex, &order, tag = std::move(tag)] {
+          std::lock_guard<std::mutex> lock(order_mutex);
+          order.push_back(tag);
+          return Status::OK();
+        },
+        request);
+  };
+  // Batch and best-effort work is admitted FIRST; the interactive requests
+  // arriving after it must still complete first once the lane reopens.
+  std::vector<EngineFuture<bool>> staged;
+  staged.push_back(record("b0", WithPriority(Priority::kBatch)));
+  staged.push_back(record("b1", WithPriority(Priority::kBatch)));
+  staged.push_back(record("e0", WithPriority(Priority::kBestEffort)));
+  staged.push_back(record("i0", WithPriority(Priority::kInteractive)));
+  staged.push_back(record("i1", WithPriority(Priority::kInteractive)));
+  gate.Open();
+  for (const auto& future : staged) {
+    const auto result = future.Get();
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+  EXPECT_TRUE(gate.task.Get().ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"i0", "i1", "b0", "b1", "e0"}));
+}
+
+TEST(EngineTest, PerTenantQuotaRefusalWhileOtherTenantsProceed) {
+  const DirectReference ref = MakeReference(11);
+  EngineOptions options = BaseOptions();
+  options.serving_threads = 1;
+  options.queue_capacity = 16;
+  options.tenant_quota = 2;
+  std::unique_ptr<Engine> engine = MakeEngineOrDie(64, options);
+  for (size_t i = 0; i < ref.xs.size(); ++i) {
+    ASSERT_TRUE(engine
+                    ->InsertVector("doc-" + std::to_string(i), ref.xs[i],
+                                   500 + static_cast<uint64_t>(i))
+                    .ok());
+  }
+  const auto sync = engine->NearestNeighbors(ref.probe, 3).value();
+
+  LaneGate gate(engine.get());
+
+  const auto alice = WithPriority(Priority::kInteractive, "alice");
+  const auto alice_a = engine->SubmitQuery(ref.probe, 3, alice);
+  const auto alice_b = engine->SubmitQuery(ref.probe, 3, alice);
+  // alice is now at her quota of queued+in-flight requests; her third
+  // submission is refused at admission — immediately, not after the lane.
+  const auto alice_refused = engine->SubmitQuery(ref.probe, 3, alice);
+  EXPECT_TRUE(alice_refused.Ready());
+  const auto refused_result = alice_refused.Get();
+  ASSERT_FALSE(refused_result.ok());
+  EXPECT_EQ(refused_result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(refused_result.status().message().find("alice"),
+            std::string::npos)
+      << refused_result.status();
+
+  // Other tenants (and unmetered callers) proceed unaffected.
+  const auto bob = engine->SubmitQuery(
+      ref.probe, 3, WithPriority(Priority::kInteractive, "bob"));
+  const auto unmetered = engine->SubmitQuery(ref.probe, 3);
+
+  gate.Open();
+  for (const auto& accepted : {alice_a, alice_b, bob, unmetered}) {
+    const auto result = accepted.Get();
+    ASSERT_TRUE(result.ok()) << result.status();
+    ExpectSameNeighbors(*result, sync);
+  }
+  EXPECT_TRUE(gate.task.Get().ok());
+}
+
+TEST(EngineTest, CancelQueuedRequestResolvesCancelledWithoutOccupyingALane) {
+  const DirectReference ref = MakeReference(11);
+  EngineOptions options = BaseOptions();
+  options.serving_threads = 1;
+  options.queue_capacity = 16;
+  std::unique_ptr<Engine> engine = MakeEngineOrDie(64, options);
+  for (size_t i = 0; i < ref.xs.size(); ++i) {
+    ASSERT_TRUE(engine
+                    ->InsertVector("doc-" + std::to_string(i), ref.xs[i],
+                                   500 + static_cast<uint64_t>(i))
+                    .ok());
+  }
+  const auto sync = engine->NearestNeighbors(ref.probe, 3).value();
+
+  LaneGate gate(engine.get());
+
+  auto doomed = engine->SubmitQuery(ref.probe, 3);
+  const auto patient = engine->SubmitQuery(ref.probe, 3);
+  // Cancel resolves the future immediately, while the lane is still held —
+  // the request never reaches a serving thread.
+  EXPECT_TRUE(doomed.Cancel());
+  EXPECT_TRUE(doomed.Ready());
+  const auto cancelled_result = doomed.Get();
+  ASSERT_FALSE(cancelled_result.ok());
+  EXPECT_EQ(cancelled_result.status().code(), StatusCode::kCancelled);
+  // Cancelling twice is a no-op.
+  EXPECT_FALSE(doomed.Cancel());
+
+  gate.Open();
+  auto patient_result = patient.Get();
+  ASSERT_TRUE(patient_result.ok()) << patient_result.status();
+  ExpectSameNeighbors(*patient_result, sync);
+  EXPECT_TRUE(gate.task.Get().ok());
+  // A request that already ran cannot be cancelled.
+  auto served = patient;
+  EXPECT_FALSE(served.Cancel());
+  EXPECT_EQ(engine->Stats().lane(Priority::kInteractive).cancelled, 1);
+}
+
+TEST(EngineTest, SubmitQueryBatchByteIdenticalToIndividualSubmits) {
+  const DirectReference ref = MakeReference(23);
+  std::vector<PrivateSketch> queries;
+  for (int i = 0; i < 6; ++i) {
+    queries.push_back(
+        ref.sketcher.Sketch(ref.xs[static_cast<size_t>(i)],
+                            1000 + static_cast<uint64_t>(i)));
+  }
+  for (int threads : kThreadCounts) {
+    EngineOptions options = BaseOptions();
+    options.threads = threads;
+    options.serving_threads = 2;
+    std::unique_ptr<Engine> engine = MakeEngineOrDie(64, options);
+    for (size_t i = 0; i < ref.xs.size(); ++i) {
+      ASSERT_TRUE(engine
+                      ->InsertVector("doc-" + std::to_string((i * 37) % 101),
+                                     ref.xs[i], 500 + static_cast<uint64_t>(i))
+                      .ok());
+    }
+    const auto batched =
+        engine->SubmitQueryBatch(queries, 7, WithPriority(Priority::kBatch))
+            .Get();
+    ASSERT_TRUE(batched.ok()) << batched.status();
+    ASSERT_EQ(batched->size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto individual = engine->SubmitQuery(queries[i], 7).Get();
+      ASSERT_TRUE(individual.ok()) << individual.status();
+      ExpectSameNeighbors((*batched)[i], *individual);
+    }
+    // Edge cases ride the same path: empty batch, invalid top_n.
+    const auto empty = engine->SubmitQueryBatch({}, 7).Get();
+    ASSERT_TRUE(empty.ok()) << empty.status();
+    EXPECT_TRUE(empty->empty());
+    const auto invalid = engine->SubmitQueryBatch(queries, 0).Get();
+    ASSERT_FALSE(invalid.ok());
+    EXPECT_EQ(invalid.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(EngineTest, StatsCountersConsistentWithStagedOutcomes) {
+  const DirectReference ref = MakeReference(11);
+  EngineOptions options = BaseOptions();
+  options.serving_threads = 1;
+  options.queue_capacity = 16;  // roomy: the refusal below is quota, not capacity
+  options.tenant_quota = 1;
+  std::unique_ptr<Engine> engine = MakeEngineOrDie(64, options);
+  for (size_t i = 0; i < ref.xs.size(); ++i) {
+    ASSERT_TRUE(engine
+                    ->InsertVector("doc-" + std::to_string(i), ref.xs[i],
+                                   500 + static_cast<uint64_t>(i))
+                    .ok());
+  }
+  const auto sync = engine->NearestNeighbors(ref.probe, 3).value();
+
+  // A fresh engine reports a quiet scheduler and the index it carries.
+  const EngineStats fresh = engine->Stats();
+  for (int lane = 0; lane < kNumPriorityLanes; ++lane) {
+    const auto& counters = fresh.queue.lanes[static_cast<size_t>(lane)];
+    EXPECT_EQ(counters.depth, 0);
+    EXPECT_EQ(counters.served, 0);
+    EXPECT_EQ(counters.expired, 0);
+    EXPECT_EQ(counters.refused, 0);
+    EXPECT_EQ(counters.cancelled, 0);
+  }
+  EXPECT_EQ(fresh.queue.deadline_misses, 0);
+  EXPECT_EQ(fresh.index_size, 11);
+
+  LaneGate gate(engine.get());
+
+  // Stage one of each outcome behind the held lane (quota 1):
+  const auto submit_time = RequestQueue::Clock::now();
+  const auto doomed = engine->SubmitQuery(ref.probe, 3, /*deadline_ms=*/1);
+  auto cancelme = engine->SubmitQuery(ref.probe, 3);
+  EXPECT_TRUE(cancelme.Cancel());
+  const auto alice_served = engine->SubmitQuery(
+      ref.probe, 3, WithPriority(Priority::kInteractive, "alice"));
+  auto alice_quota_refused = engine->SubmitQuery(
+      ref.probe, 3, WithPriority(Priority::kBatch, "alice"));
+  EXPECT_TRUE(alice_quota_refused.Ready());
+  const auto quota_result = alice_quota_refused.Get();
+  EXPECT_EQ(quota_result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(quota_result.status().message().find("quota"), std::string::npos)
+      << quota_result.status();
+  // A refused request never got a ticket; Cancel has nothing to do.
+  EXPECT_FALSE(alice_quota_refused.Cancel());
+
+  // Mid-flight depth: the interactive lane holds doomed + alice's query.
+  const EngineStats gated = engine->Stats();
+  EXPECT_EQ(gated.lane(Priority::kInteractive).depth, 2);
+  EXPECT_EQ(gated.queue.tenant_usage.at("alice"), 1);
+
+  // Let doomed's deadline lapse in the queue, then reopen the lane.
+  std::this_thread::sleep_until(submit_time + std::chrono::milliseconds(20));
+  gate.Open();
+
+  EXPECT_EQ(doomed.Get().status().code(), StatusCode::kDeadlineExceeded);
+  const auto alice_result = alice_served.Get();
+  ASSERT_TRUE(alice_result.ok()) << alice_result.status();
+  ExpectSameNeighbors(*alice_result, sync);
+  EXPECT_TRUE(gate.task.Get().ok());
+
+  // Quota slots release just after the future resolves; WaitIdle blocks
+  // until the serving thread finished that bookkeeping, so the audit
+  // below is deterministic.
+  engine->WaitIdle();
+  const EngineStats stats = engine->Stats();
+  const auto& interactive = stats.lane(Priority::kInteractive);
+  EXPECT_EQ(interactive.served, 2);     // the gate + alice's query
+  EXPECT_EQ(interactive.expired, 1);    // doomed
+  EXPECT_EQ(interactive.refused, 0);
+  EXPECT_EQ(interactive.cancelled, 1);  // cancelme
+  EXPECT_EQ(interactive.depth, 0);
+  const auto& batch = stats.lane(Priority::kBatch);
+  EXPECT_EQ(batch.refused, 1);  // alice's over-quota submission
+  EXPECT_EQ(batch.served, 0);
+  const auto& best_effort = stats.lane(Priority::kBestEffort);
+  EXPECT_EQ(best_effort.served + best_effort.refused + best_effort.expired +
+                best_effort.cancelled + best_effort.depth,
+            0);
+  EXPECT_EQ(stats.queue.deadline_misses, 1);
+  EXPECT_TRUE(stats.queue.tenant_usage.empty());
+  EXPECT_EQ(stats.index_size, 11);
 }
 
 TEST(EngineTest, ConcurrentSubmittersAndInsertsAllResolve) {

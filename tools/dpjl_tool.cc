@@ -44,15 +44,21 @@ void Usage(std::ostream& out) {
          "  dpjl_tool sketch --input FILE --output FILE --noise-seed N\n"
          "            [engine flags]\n"
          "  dpjl_tool sketch-batch --input FILE --output-prefix PREFIX\n"
-         "            --base-noise-seed N [engine flags]  (input: one CSV\n"
-         "            vector per line; row i is written to PREFIX + i +\n"
-         "            '.sketch' with noise seed derived as\n"
-         "            splitmix64(base, i) — identical for any --threads)\n"
+         "            --base-noise-seed N [--index FILE] [engine flags]\n"
+         "            [request flags]  (input: one CSV vector per line;\n"
+         "            row i is written to PREFIX + i + '.sketch' with noise\n"
+         "            seed derived as splitmix64(base, i) — identical for\n"
+         "            any --threads. With --index, the rows are also bulk-\n"
+         "            ingested as ids 'row<i>' and the index is written to\n"
+         "            FILE. The batch runs as one queued request, default\n"
+         "            priority 'batch'; prints engine stats after.)\n"
          "  dpjl_tool estimate --a FILE --b FILE\n"
          "  dpjl_tool inspect --sketch FILE\n"
          "  dpjl_tool index-add --index FILE --id NAME --sketch FILE\n"
          "  dpjl_tool query --index FILE --sketch FILE [--top N]\n"
-         "            [engine flags]  (alias: index-query)\n"
+         "            [engine flags] [request flags]  (alias: index-query;\n"
+         "            submitted async at default priority 'interactive';\n"
+         "            prints engine stats after)\n"
          "  dpjl_tool selftest\n"
          "engine flags (one shared config path, see EngineOptions::Parse):\n"
          "  sketcher: --epsilon E --delta D --alpha A --beta B --seed S\n"
@@ -61,7 +67,10 @@ void Usage(std::ostream& out) {
          "            --noise auto|laplace|gaussian|none\n"
          "            --placement output|input|post-hadamard\n"
          "  serving:  --threads T (0 = all cores) --shards N\n"
-         "            --serving-threads T --queue-capacity N --deadline-ms MS\n"
+         "            --serving-threads T --queue-capacity N\n"
+         "            --tenant-quota N (0 = unlimited) --deadline-ms MS\n"
+         "request flags (per-submission scheduling, see RequestOptions):\n"
+         "  --priority interactive|batch|best-effort --tenant NAME\n"
          "flags accept both '--key value' and '--key=value'\n"
          "every subcommand accepts --help / -h\n";
 }
@@ -191,14 +200,42 @@ Result<std::string> ReadFile(const std::string& path) {
 }
 
 // The tool's historical defaults, applied before EngineOptions::Parse reads
-// the caller's overrides out of the same flag map.
+// the caller's overrides out of the same flag map. The tool-specific keys
+// (file paths, seeds, per-request scheduling) are declared as passthrough;
+// anything else unrecognized is a typo and Parse reports it.
 Result<EngineOptions> OptionsFromFlags(
     std::map<std::string, std::string> flags) {
+  static const std::vector<std::string> kToolKeys = {
+      "input", "output",   "output-prefix", "noise-seed", "base-noise-seed",
+      "a",     "b",        "sketch",        "index",      "id",
+      "top",   "priority", "tenant"};
   flags.emplace("epsilon", "1.0");
   flags.emplace("alpha", "0.2");
   flags.emplace("beta", "0.05");
   flags.emplace("seed", "1");
-  return EngineOptions::Parse(flags);
+  return EngineOptions::Parse(flags, kToolKeys);
+}
+
+// Stats dump shared by the async subcommands. Tenant quota slots release
+// just after the request's future resolves; drain the backlog so a
+// one-shot CLI run prints the quiesced counters.
+void DumpEngineStats(const Engine& engine, std::ostream& out) {
+  engine.WaitIdle();
+  out << "engine stats:\n" << engine.Stats().ToString();
+}
+
+// Per-request scheduling flags shared by the async subcommands; the
+// subcommand picks the lane its workload belongs to by default.
+Result<RequestOptions> RequestOptionsFromFlags(
+    const std::map<std::string, std::string>& flags,
+    Priority default_priority) {
+  RequestOptions request;
+  request.priority = default_priority;
+  if (const auto it = flags.find("priority"); it != flags.end()) {
+    DPJL_ASSIGN_OR_RETURN(request.priority, ParsePriority(it->second));
+  }
+  request.tenant = FlagOr(flags, "tenant", "");
+  return request;
 }
 
 int CmdSketch(const std::map<std::string, std::string>& flags) {
@@ -273,29 +310,69 @@ int CmdSketchBatch(const std::map<std::string, std::string>& flags) {
                  "are derived from it and it must differ per batch\n";
     return 2;
   }
-  Timer timer;
-  auto sketches = (*engine)->SketchBatch(*rows, base_seed);
-  const double seconds = timer.ElapsedSeconds();
-  if (!sketches.ok()) {
-    std::cerr << sketches.status() << "\n";
+  auto request = RequestOptionsFromFlags(flags, Priority::kBatch);
+  if (!request.ok()) {
+    std::cerr << request.status() << "\n";
     return 1;
   }
-  for (size_t i = 0; i < sketches->size(); ++i) {
+  // The whole batch is one queued request in the batch lane (one admission
+  // and one quota unit, however many rows), so interactive queries sharing
+  // the engine keep priority over this backfill.
+  Timer timer;
+  std::vector<PrivateSketch> sketches;
+  const auto batch_done = (*engine)->SubmitTask(
+      [&engine, &rows, &sketches, base_seed] {
+        auto batch = (*engine)->SketchBatch(*rows, base_seed);
+        if (!batch.ok()) return batch.status();
+        sketches = std::move(*batch);
+        return Status::OK();
+      },
+      *request);
+  if (const auto done = batch_done.Get(); !done.ok()) {
+    std::cerr << done.status() << "\n";
+    return 1;
+  }
+  const double seconds = timer.ElapsedSeconds();
+  for (size_t i = 0; i < sketches.size(); ++i) {
     const std::string path = prefix + std::to_string(i) + ".sketch";
-    const Status written = WriteFile(path, (*sketches)[i].Serialize());
+    const Status written = WriteFile(path, sketches[i].Serialize());
     if (!written.ok()) {
       std::cerr << written << "\n";
       return 1;
     }
   }
-  std::cout << "wrote " << sketches->size() << " sketches to " << prefix
+  // Optional bulk ingestion: the rows become an index in one AddBatch
+  // (single compatibility check, no per-Add rescan).
+  if (const std::string index_path = FlagOr(flags, "index", "");
+      !index_path.empty()) {
+    std::vector<std::pair<std::string, PrivateSketch>> items;
+    items.reserve(sketches.size());
+    for (size_t i = 0; i < sketches.size(); ++i) {
+      items.emplace_back("row" + std::to_string(i), sketches[i]);
+    }
+    if (const Status added = (*engine)->InsertBatch(std::move(items));
+        !added.ok()) {
+      std::cerr << added << "\n";
+      return 1;
+    }
+    if (const Status written =
+            WriteFile(index_path, (*engine)->SerializeIndex());
+        !written.ok()) {
+      std::cerr << written << "\n";
+      return 1;
+    }
+    std::cout << "wrote index " << index_path << ": "
+              << (*engine)->index_size() << " sketches\n";
+  }
+  std::cout << "wrote " << sketches.size() << " sketches to " << prefix
             << "*.sketch: " << (*engine)->sketcher().Describe() << ", d="
             << rows->front().size() << " -> k="
-            << sketches->front().values().size() << ", threads="
+            << sketches.front().values().size() << ", threads="
             << (*engine)->query_threads() << ", "
-            << static_cast<int64_t>(static_cast<double>(sketches->size()) /
+            << static_cast<int64_t>(static_cast<double>(sketches.size()) /
                                     (seconds > 0 ? seconds : 1e-9))
             << " vectors/sec\n";
+  DumpEngineStats(**engine, std::cerr);
   return 0;
 }
 
@@ -445,14 +522,20 @@ int CmdIndexQuery(const std::map<std::string, std::string>& flags) {
     std::cerr << options.status() << "\n";
     return 1;
   }
+  auto request = RequestOptionsFromFlags(flags, Priority::kInteractive);
+  if (!request.ok()) {
+    std::cerr << request.status() << "\n";
+    return 1;
+  }
   // Serving-only engine over the released index: same pool/shard scan as
-  // before, now behind the one facade every caller shares.
+  // before, now behind the one facade every caller shares. The query goes
+  // through the submission path so the stats dump below reflects it.
   auto engine = Engine::FromIndex(std::move(index).value(), *options);
   if (!engine.ok()) {
     std::cerr << engine.status() << "\n";
     return 1;
   }
-  auto neighbors = (*engine)->NearestNeighbors(*query, top);
+  const auto neighbors = (*engine)->SubmitQuery(*query, top, *request).Get();
   if (!neighbors.ok()) {
     std::cerr << neighbors.status() << "\n";
     return 1;
@@ -460,6 +543,7 @@ int CmdIndexQuery(const std::map<std::string, std::string>& flags) {
   for (const auto& n : *neighbors) {
     std::printf("%s\t%.6f\n", n.id.c_str(), n.squared_distance);
   }
+  DumpEngineStats(**engine, std::cerr);
   return 0;
 }
 
@@ -580,8 +664,28 @@ int CmdSelftest() {
                        {"base-noise-seed", "303"},
                        {"threads", "2"},
                        {"epsilon", epsilon},
-                       {"seed", seed}});
+                       {"seed", seed},
+                       {"index", dir + "/batch.index"}});
   if (rc != 0) return rc;
+  // The bulk-ingested index must round-trip and rank row0 (the query's own
+  // sketch) first, exactly like the per-Add index above.
+  rc = CmdIndexQuery({{"index", dir + "/batch.index"},
+                      {"sketch", dir + "/row0.sketch"},
+                      {"top", "2"},
+                      {"priority", "interactive"},
+                      {"tenant", "selftest"}});
+  if (rc != 0) return rc;
+  {
+    auto batch_index = SketchIndex::Deserialize(*ReadFile(dir + "/batch.index"));
+    auto row0 = PrivateSketch::Deserialize(*ReadFile(dir + "/row0.sketch"));
+    if (!batch_index.ok() || !row0.ok()) return 1;
+    auto ranked = batch_index->NearestNeighbors(*row0, 2);
+    if (!ranked.ok() || ranked->size() != 2 || (*ranked)[0].id != "row0") {
+      std::cerr << "selftest FAILED: bulk-ingested index did not rank the "
+                   "query's own sketch first\n";
+      return 1;
+    }
+  }
   for (int64_t i = 0; i < 2; ++i) {
     auto batch_bytes = ReadFile(dir + "/row" + std::to_string(i) + ".sketch");
     if (!batch_bytes.ok()) return 1;
@@ -630,6 +734,36 @@ int CmdSelftest() {
     const auto sync_est = (*server)->SquaredDistance("a", "b");
     if (!async_est.ok() || !sync_est.ok() || *async_est != *sync_est) {
       std::cerr << "selftest FAILED: async estimate differs from sync\n";
+      return 1;
+    }
+
+    // Batched submission: one admission, two probes, byte-identical to the
+    // individual submissions — and the scheduler counted everything.
+    RequestOptions batch_request;
+    batch_request.priority = Priority::kBatch;
+    batch_request.tenant = "selftest";
+    const auto batched =
+        (*server)
+            ->SubmitQueryBatch({*a, *b}, 2, batch_request)
+            .Get();
+    const auto individual_b = (*server)->SubmitQuery(*b, 2).Get();
+    if (!batched.ok() || batched->size() != 2 || !check((*batched)[0]) ||
+        !individual_b.ok() || (*batched)[1].size() != individual_b->size() ||
+        (*batched)[1][0].id != (*individual_b)[0].id ||
+        (*batched)[1][0].squared_distance !=
+            (*individual_b)[0].squared_distance) {
+      std::cerr << "selftest FAILED: batched query differs from individual\n";
+      return 1;
+    }
+    // A tenant's quota slot is held until its work completes (in-flight
+    // accounting), and release happens just after the future resolves —
+    // drain the backlog before auditing the counters.
+    (*server)->WaitIdle();
+    const EngineStats stats = (*server)->Stats();
+    if (stats.lane(Priority::kBatch).served < 1 ||
+        stats.lane(Priority::kInteractive).served < 1 ||
+        !stats.queue.tenant_usage.empty()) {
+      std::cerr << "selftest FAILED: engine stats inconsistent with traffic\n";
       return 1;
     }
   }
