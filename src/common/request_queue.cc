@@ -27,9 +27,11 @@ Result<Priority> ParsePriority(const std::string& raw) {
                                  "' (expected interactive|batch|best-effort)");
 }
 
-RequestQueue::RequestQueue(int64_t capacity, int64_t tenant_quota)
+RequestQueue::RequestQueue(int64_t capacity, int64_t tenant_quota,
+                           Clock::duration starvation_age)
     : capacity_(std::max<int64_t>(1, capacity)),
-      tenant_quota_(std::max<int64_t>(0, tenant_quota)) {}
+      tenant_quota_(std::max<int64_t>(0, tenant_quota)),
+      starvation_age_(std::max(Clock::duration::zero(), starvation_age)) {}
 
 RequestQueue::~RequestQueue() {
   Close();
@@ -76,6 +78,7 @@ Result<RequestQueue::Ticket> RequestQueue::TryPush(Request request) {
       }
     }
     ticket = next_ticket_++;
+    request.enqueued = Clock::now();
     if (!request.tenant.empty()) ++tenant_usage_[request.tenant];
     lanes_[lane].push_back(ticket);
     ++stats_[lane].depth;
@@ -83,6 +86,41 @@ Result<RequestQueue::Ticket> RequestQueue::TryPush(Request request) {
   }
   ready_.notify_one();
   return ticket;
+}
+
+void RequestQueue::PromoteAgedLocked(Clock::time_point now) {
+  if (starvation_age_ <= Clock::duration::zero()) return;
+  for (size_t lane_index = 1; lane_index < lanes_.size(); ++lane_index) {
+    auto& lane = lanes_[lane_index];
+    while (!lane.empty()) {
+      const Ticket ticket = lane.front();
+      const auto it = pending_.find(ticket);
+      if (it == pending_.end()) {
+        lane.pop_front();
+        --stale_[lane_index];  // cancelled in place; reclaimed now
+        continue;
+      }
+      // FIFO within a lane means the front is the oldest live entry; once
+      // it is young enough, everything behind it is too.
+      if (now - it->second.enqueued < starvation_age_) break;
+      lane.pop_front();
+      // One lane up, to the tail: promotions stay FIFO among themselves
+      // and never preempt requests admitted at the higher priority that
+      // are already waiting. The request's own priority field moves with
+      // it so cancellation, depth accounting and the eventual served/
+      // expired count all land on the lane it was actually served from.
+      // The age clock restarts on promotion: each hop costs up to one
+      // starvation_age in its lane, and — crucially — every lane stays
+      // oldest-first by `enqueued`, which is what lets this scan stop at
+      // the first young front instead of walking the whole deque.
+      it->second.enqueued = now;
+      it->second.priority = static_cast<Priority>(static_cast<int>(lane_index) - 1);
+      lanes_[lane_index - 1].push_back(ticket);
+      --stats_[lane_index].depth;
+      ++stats_[lane_index].promoted;
+      ++stats_[lane_index - 1].depth;
+    }
+  }
 }
 
 RequestQueue::Request RequestQueue::PopLockedAndCount(Clock::time_point now,
@@ -130,7 +168,9 @@ bool RequestQueue::ServeOne() {
     std::unique_lock<std::mutex> lock(mutex_);
     ready_.wait(lock, [this] { return closed_ || !pending_.empty(); });
     if (pending_.empty()) return false;  // closed and drained
-    request = PopLockedAndCount(Clock::now(), &expired);
+    const Clock::time_point now = Clock::now();
+    PromoteAgedLocked(now);
+    request = PopLockedAndCount(now, &expired);
   }
   if (expired) {
     request.handler(Status::DeadlineExceeded(

@@ -84,6 +84,14 @@ struct RequestOptions {
 ///    `kDeadlineExceeded` when the deadline passed while it sat in the
 ///    queue. Expired requests therefore fail in O(1) without occupying a
 ///    serving thread, so they cannot stall the requests behind them.
+///  - Anti-starvation (optional): with a non-zero `starvation_age`, a
+///    request that has waited in the batch or best-effort lane at least
+///    that long is promoted one lane at pop time (to the tail of the
+///    higher lane, preserving FIFO among promotions). Strict priority
+///    then becomes a bounded-delay guarantee instead of indefinite
+///    starvation: sustained interactive load can delay batch work by at
+///    most ~starvation_age per lane hop. Promotions are counted per
+///    source lane in `LaneStats::promoted`.
 ///  - `Cancel` resolves a still-queued request with `kCancelled` in O(1)
 ///    (amortized; hash-map erase) without it ever occupying a serving
 ///    thread. Returns false if the ticket was already popped, cancelled,
@@ -118,6 +126,8 @@ class RequestQueue {
     Priority priority = Priority::kInteractive;
     std::string tenant;
     std::function<void(const Status&)> handler;
+    /// Admission time, stamped by TryPush; the anti-starvation clock.
+    Clock::time_point enqueued = Clock::time_point();
   };
 
   /// Monotonic per-lane counters plus the current backlog.
@@ -127,6 +137,7 @@ class RequestQueue {
     int64_t expired = 0;    ///< popped after their deadline (kDeadlineExceeded)
     int64_t refused = 0;    ///< refused at admission (capacity or quota)
     int64_t cancelled = 0;  ///< resolved by Cancel (kCancelled)
+    int64_t promoted = 0;   ///< aged out of this lane into the next higher one
   };
 
   /// Consistent snapshot of the scheduler's counters.
@@ -146,7 +157,10 @@ class RequestQueue {
 
   /// `capacity` below 1 is clamped to 1. `tenant_quota` bounds each
   /// non-empty tenant's queued + in-flight requests; 0 means unlimited.
-  explicit RequestQueue(int64_t capacity, int64_t tenant_quota = 0);
+  /// `starvation_age` of zero (the default) disables aged-lane promotion;
+  /// negative values are treated as zero.
+  explicit RequestQueue(int64_t capacity, int64_t tenant_quota = 0,
+                        Clock::duration starvation_age = Clock::duration::zero());
 
   /// Closes the queue and fails any still-unserved requests with
   /// `kFailedPrecondition` (normal shutdown drains via ServeOne first).
@@ -193,6 +207,12 @@ class RequestQueue {
   /// `mutex_` and guarantee at least one pending request exists.
   Request PopLockedAndCount(Clock::time_point now, bool* expired);
 
+  /// Moves every front-of-lane request older than `starvation_age_` one
+  /// lane up (FIFO within a lane means the front is the oldest live entry,
+  /// so scanning fronts suffices). Caller must hold `mutex_`; no-op when
+  /// promotion is disabled.
+  void PromoteAgedLocked(Clock::time_point now);
+
   /// Decrements `tenant`'s usage (no-op for the empty tenant).
   void ReleaseTenantLocked(const std::string& tenant);
 
@@ -202,6 +222,7 @@ class RequestQueue {
 
   const int64_t capacity_;
   const int64_t tenant_quota_;
+  const Clock::duration starvation_age_;
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   mutable std::condition_variable idle_;

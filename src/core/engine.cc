@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "src/common/check.h"
+#include "src/core/estimators.h"
 #include "src/jl/make_transform.h"
 
 namespace dpjl {
@@ -134,7 +135,7 @@ Result<EngineOptions> EngineOptions::Parse(
           "k-override",     "s-override",    "noise",
           "placement",      "threads",       "shards",
           "serving-threads", "queue-capacity", "tenant-quota",
-          "deadline-ms"};
+          "deadline-ms",    "starvation-age-ms"};
   for (const auto& entry : flags) {
     if (kRecognized->count(entry.first) == 0 &&
         std::find(passthrough.begin(), passthrough.end(), entry.first) ==
@@ -214,6 +215,12 @@ Result<EngineOptions> EngineOptions::Parse(
         ParseIntFlag("deadline-ms", *raw, 0,
                      std::numeric_limits<int64_t>::max() / 2));
   }
+  if (const std::string* raw = find("starvation-age-ms")) {
+    DPJL_ASSIGN_OR_RETURN(
+        options.starvation_age_ms,
+        ParseIntFlag("starvation-age-ms", *raw, 0,
+                     std::numeric_limits<int64_t>::max() / 2));
+  }
   DPJL_RETURN_IF_ERROR(options.Validate());
   return options;
 }
@@ -233,7 +240,8 @@ std::string EngineOptions::ToString() const {
       << " --shards=" << num_shards << " --serving-threads=" << serving_threads
       << " --queue-capacity=" << queue_capacity
       << " --tenant-quota=" << tenant_quota
-      << " --deadline-ms=" << default_deadline_ms;
+      << " --deadline-ms=" << default_deadline_ms
+      << " --starvation-age-ms=" << starvation_age_ms;
   return out.str();
 }
 
@@ -258,6 +266,10 @@ Status EngineOptions::Validate() const {
   if (default_deadline_ms < 0) {
     return Status::InvalidArgument(
         "deadline-ms must be non-negative (0 = no deadline)");
+  }
+  if (starvation_age_ms < 0) {
+    return Status::InvalidArgument(
+        "starvation-age-ms must be non-negative (0 = strict priority)");
   }
   return Status::OK();
 }
@@ -285,8 +297,9 @@ Engine::Engine(EngineOptions options, std::optional<PrivateSketcher> sketcher,
     : options_(std::move(options)),
       sketcher_(std::move(sketcher)),
       index_(std::move(index)),
-      queue_(std::make_shared<RequestQueue>(options_.queue_capacity,
-                                            options_.tenant_quota)) {
+      queue_(std::make_shared<RequestQueue>(
+          options_.queue_capacity, options_.tenant_quota,
+          std::chrono::milliseconds(options_.starvation_age_ms))) {
   const int threads =
       options_.threads == 0 ? ThreadPool::DefaultThreadCount() : options_.threads;
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
@@ -337,13 +350,46 @@ Result<std::vector<PrivateSketch>> Engine::SketchBatch(
 
 Status Engine::Insert(std::string id, PrivateSketch sketch) {
   std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  if (!partitions_.empty()) {
+    DPJL_RETURN_IF_ERROR(CheckInsertLocked(id, sketch.metadata(),
+                                           CorpusFingerprintLocked()));
+  }
   return index_.Add(std::move(id), std::move(sketch));
 }
 
 Status Engine::InsertBatch(
     std::vector<std::pair<std::string, PrivateSketch>> items) {
   std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  if (!partitions_.empty()) {
+    // The corpus fingerprint is loop-invariant under the write lock;
+    // compute it once for the whole batch.
+    const uint64_t corpus = CorpusFingerprintLocked();
+    for (const auto& item : items) {
+      DPJL_RETURN_IF_ERROR(
+          CheckInsertLocked(item.first, item.second.metadata(), corpus));
+    }
+  }
   return index_.AddBatch(std::move(items));
+}
+
+Status Engine::CheckInsertLocked(const std::string& id,
+                                 const SketchMetadata& metadata,
+                                 uint64_t corpus_fingerprint) const {
+  // The owned index validates against itself; with partitions attached the
+  // corpus is wider, so uniqueness and compatibility must hold across them
+  // too (one hash lookup per partition, one fingerprint comparison).
+  for (const auto& partition : partitions_) {
+    if (partition.second.Find(id) != nullptr) {
+      return Status::InvalidArgument(
+          "duplicate sketch id (served by an attached partition): " + id);
+    }
+  }
+  if (corpus_fingerprint != 0 &&
+      CompatibilityFingerprint(metadata) != corpus_fingerprint) {
+    return Status::FailedPrecondition(
+        "sketch is incompatible with the served corpus's projection");
+  }
+  return Status::OK();
 }
 
 Status Engine::InsertVector(std::string id, const std::vector<double>& x,
@@ -353,12 +399,19 @@ Status Engine::InsertVector(std::string id, const std::vector<double>& x,
 
 int64_t Engine::index_size() const {
   std::shared_lock<std::shared_mutex> lock(index_mutex_);
-  return index_.size();
+  int64_t total = index_.size();
+  for (const auto& partition : partitions_) total += partition.second.size();
+  return total;
 }
 
 std::vector<std::string> Engine::ids() const {
   std::shared_lock<std::shared_mutex> lock(index_mutex_);
-  return index_.ids();
+  std::vector<std::string> all = index_.ids();
+  for (const auto& partition : partitions_) {
+    const std::vector<std::string>& part_ids = partition.second.ids();
+    all.insert(all.end(), part_ids.begin(), part_ids.end());
+  }
+  return all;
 }
 
 std::string Engine::SerializeIndex() const {
@@ -366,27 +419,151 @@ std::string Engine::SerializeIndex() const {
   return index_.Serialize();
 }
 
+Result<std::vector<SketchIndex::Neighbor>> Engine::NearestNeighborsLocked(
+    const PrivateSketch& query, int64_t top_n, ThreadPool* pool) const {
+  if (partitions_.empty()) return index_.NearestNeighbors(query, top_n, pool);
+  // Scatter: the owned index and each partition produce their own top_n
+  // (each scan pool-parallel across its shards in turn). The global top_n
+  // is contained in the union of the per-partition top_n lists, so the
+  // gather below — one deterministic (distance, id) sort plus a truncate —
+  // is byte-identical to scanning one merged index.
+  std::vector<SketchIndex::Neighbor> all;
+  const auto scatter = [&](const SketchIndex& part) -> Status {
+    auto partial = part.NearestNeighbors(query, top_n, pool);
+    if (!partial.ok()) return partial.status();
+    all.insert(all.end(), partial->begin(), partial->end());
+    return Status::OK();
+  };
+  DPJL_RETURN_IF_ERROR(scatter(index_));
+  for (const auto& partition : partitions_) {
+    DPJL_RETURN_IF_ERROR(scatter(partition.second));
+  }
+  std::sort(all.begin(), all.end(), SketchIndex::NeighborLess);
+  if (static_cast<int64_t>(all.size()) > top_n) {
+    all.resize(static_cast<size_t>(top_n));
+  }
+  return all;
+}
+
+Result<std::vector<SketchIndex::Neighbor>> Engine::RangeQueryLocked(
+    const PrivateSketch& query, double radius_sq, ThreadPool* pool) const {
+  if (partitions_.empty()) return index_.RangeQuery(query, radius_sq, pool);
+  std::vector<SketchIndex::Neighbor> all;
+  const auto scatter = [&](const SketchIndex& part) -> Status {
+    auto partial = part.RangeQuery(query, radius_sq, pool);
+    if (!partial.ok()) return partial.status();
+    all.insert(all.end(), partial->begin(), partial->end());
+    return Status::OK();
+  };
+  DPJL_RETURN_IF_ERROR(scatter(index_));
+  for (const auto& partition : partitions_) {
+    DPJL_RETURN_IF_ERROR(scatter(partition.second));
+  }
+  std::sort(all.begin(), all.end(), SketchIndex::NeighborLess);
+  return all;
+}
+
+const PrivateSketch* Engine::FindLocked(const std::string& id) const {
+  if (const PrivateSketch* found = index_.Find(id)) return found;
+  for (const auto& partition : partitions_) {
+    if (const PrivateSketch* found = partition.second.Find(id)) return found;
+  }
+  return nullptr;
+}
+
+uint64_t Engine::CorpusFingerprintLocked() const {
+  if (index_.size() > 0) {
+    return CompatibilityFingerprint(index_.Find(index_.ids().front())->metadata());
+  }
+  for (const auto& partition : partitions_) {
+    const SketchIndex& part = partition.second;
+    if (part.size() > 0) {
+      return CompatibilityFingerprint(part.Find(part.ids().front())->metadata());
+    }
+  }
+  return 0;
+}
+
+Result<int64_t> Engine::AttachPartition(SketchIndex partition) {
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  if (partition.size() > 0) {
+    const uint64_t corpus = CorpusFingerprintLocked();
+    const uint64_t incoming = CompatibilityFingerprint(
+        partition.Find(partition.ids().front())->metadata());
+    if (corpus != 0 && incoming != corpus) {
+      return Status::FailedPrecondition(
+          "partition is incompatible with the served corpus's projection");
+    }
+    for (const std::string& id : partition.ids()) {
+      if (FindLocked(id) != nullptr) {
+        return Status::InvalidArgument(
+            "partition id is already served: " + id);
+      }
+    }
+  }
+  const int64_t handle = next_partition_handle_++;
+  partitions_.emplace_back(handle, std::move(partition));
+  return handle;
+}
+
+Status Engine::DetachPartition(int64_t handle) {
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  for (auto it = partitions_.begin(); it != partitions_.end(); ++it) {
+    if (it->first == handle) {
+      partitions_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no attached partition with handle " +
+                          std::to_string(handle));
+}
+
+int64_t Engine::num_partitions() const {
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  return static_cast<int64_t>(partitions_.size());
+}
+
 Result<std::vector<SketchIndex::Neighbor>> Engine::NearestNeighbors(
     const PrivateSketch& query, int64_t top_n) const {
   std::shared_lock<std::shared_mutex> lock(index_mutex_);
-  return index_.NearestNeighbors(query, top_n, pool_.get());
+  return NearestNeighborsLocked(query, top_n, pool_.get());
 }
 
 Result<std::vector<SketchIndex::Neighbor>> Engine::RangeQuery(
     const PrivateSketch& query, double radius_sq) const {
   std::shared_lock<std::shared_mutex> lock(index_mutex_);
-  return index_.RangeQuery(query, radius_sq, pool_.get());
+  return RangeQueryLocked(query, radius_sq, pool_.get());
 }
 
 Result<SketchIndex::DistanceMatrix> Engine::AllPairsDistances() const {
   std::shared_lock<std::shared_mutex> lock(index_mutex_);
-  return index_.AllPairsDistances(pool_.get());
+  if (partitions_.empty()) return index_.AllPairsDistances(pool_.get());
+  // Flatten the corpus (owned index, then partitions in attach order) and
+  // run the exact computation core the monolithic index uses; the result
+  // equals the merged index's matrix entry for entry.
+  std::vector<std::string> ids;
+  std::vector<const PrivateSketch*> sketches;
+  const auto flatten = [&](const SketchIndex& part) {
+    for (const std::string& id : part.ids()) {
+      ids.push_back(id);
+      sketches.push_back(part.Find(id));
+    }
+  };
+  flatten(index_);
+  for (const auto& partition : partitions_) flatten(partition.second);
+  return SketchIndex::ComputeAllPairs(std::move(ids), sketches, pool_.get());
 }
 
 Result<double> Engine::SquaredDistance(const std::string& id_a,
                                        const std::string& id_b) const {
   std::shared_lock<std::shared_mutex> lock(index_mutex_);
-  return index_.SquaredDistance(id_a, id_b);
+  if (partitions_.empty()) return index_.SquaredDistance(id_a, id_b);
+  const PrivateSketch* a = FindLocked(id_a);
+  const PrivateSketch* b = FindLocked(id_b);
+  if (a == nullptr || b == nullptr) {
+    return Status::NotFound("unknown sketch id");
+  }
+  return EstimateSquaredDistance(*a, *b);
 }
 
 RequestQueue::Clock::time_point Engine::DeadlineFor(int64_t deadline_ms) const {
@@ -469,8 +646,8 @@ Engine::SubmitQueryBatch(std::vector<PrivateSketch> queries, int64_t top_n,
         ThreadPool::Run(pool_.get(), 0, n, 1, [&](int64_t begin, int64_t end) {
           for (int64_t i = begin; i < end; ++i) {
             const size_t slot = static_cast<size_t>(i);
-            auto probe = index_.NearestNeighbors(queries[slot], top_n,
-                                                 /*pool=*/nullptr);
+            auto probe = NearestNeighborsLocked(queries[slot], top_n,
+                                                /*pool=*/nullptr);
             if (!probe.ok()) {
               probe_status[slot] = probe.status();
               continue;
@@ -533,7 +710,8 @@ std::string EngineStats::ToString() const {
         << "lane." << name << ".served\t" << counters.served << "\n"
         << "lane." << name << ".expired\t" << counters.expired << "\n"
         << "lane." << name << ".refused\t" << counters.refused << "\n"
-        << "lane." << name << ".cancelled\t" << counters.cancelled << "\n";
+        << "lane." << name << ".cancelled\t" << counters.cancelled << "\n"
+        << "lane." << name << ".promoted\t" << counters.promoted << "\n";
   }
   out << "deadline_misses\t" << queue.deadline_misses << "\n";
   for (const auto& tenant : queue.tenant_usage) {
@@ -541,6 +719,24 @@ std::string EngineStats::ToString() const {
   }
   out << "index_size\t" << index_size << "\n";
   return out.str();
+}
+
+EngineStats EngineStats::Delta(const EngineStats& prev) const {
+  // Monotonic counters become movement since `prev`; gauges (lane depth,
+  // tenant usage, index size) keep their current point-in-time values.
+  EngineStats delta = *this;
+  for (int lane = 0; lane < kNumPriorityLanes; ++lane) {
+    RequestQueue::LaneStats& now = delta.queue.lanes[static_cast<size_t>(lane)];
+    const RequestQueue::LaneStats& then =
+        prev.queue.lanes[static_cast<size_t>(lane)];
+    now.served -= then.served;
+    now.expired -= then.expired;
+    now.refused -= then.refused;
+    now.cancelled -= then.cancelled;
+    now.promoted -= then.promoted;
+  }
+  delta.queue.deadline_misses -= prev.queue.deadline_misses;
+  return delta;
 }
 
 }  // namespace dpjl

@@ -61,10 +61,17 @@ struct EngineOptions {
   /// do not pass their own; 0 means no deadline.
   int64_t default_deadline_ms = 0;
 
+  /// Anti-starvation knob: a queued batch or best-effort request older
+  /// than this many milliseconds is promoted one lane at pop time (see
+  /// RequestQueue). 0 (the default) keeps strict priority, under which a
+  /// sustained interactive load starves the lower lanes indefinitely.
+  int64_t starvation_age_ms = 0;
+
   /// Parses the recognized keys out of a `--key value` flag map (the form
   /// dpjl_tool already builds): epsilon, delta, alpha, beta, seed,
   /// transform, k-override, s-override, noise, placement, threads, shards,
-  /// serving-threads, queue-capacity, tenant-quota, deadline-ms. A key
+  /// serving-threads, queue-capacity, tenant-quota, deadline-ms,
+  /// starvation-age-ms. A key
   /// that is neither recognized nor listed in `passthrough` is an error
   /// (catching typos like --epsilno); callers that keep their own flags in
   /// the same map (e.g. dpjl_tool's --input) declare them via
@@ -173,6 +180,14 @@ struct EngineStats {
   /// dump): one line per lane counter, deadline misses, per-tenant usage,
   /// index size.
   std::string ToString() const;
+
+  /// Counter movement since `prev` (an earlier snapshot of the same
+  /// engine): the monotonic counters (served, expired, refused, cancelled,
+  /// promoted, deadline misses) are subtracted, while the point-in-time
+  /// gauges (lane depth, tenant usage, index size) keep their current
+  /// values. Scrapers divide the deltas by the scrape interval to obtain
+  /// rates instead of re-deriving them from cumulative totals.
+  EngineStats Delta(const EngineStats& prev) const;
 };
 
 /// The library's serving facade: one object owning the sketcher, batch
@@ -189,9 +204,19 @@ struct EngineStats {
 /// `serving_threads` — the engine adds scheduling, never different math.
 ///
 /// Thread safety: the whole public API is safe to call concurrently.
-/// `Insert`/`LoadIndex` take the write side of an index lock; queries take
-/// the read side, so lookups proceed concurrently with each other and
+/// `Insert`/`InsertBatch` take the write side of an index lock; queries
+/// take the read side, so lookups proceed concurrently with each other and
 /// serialize only against mutation.
+///
+/// Partitioned serving: AttachPartition adopts an independently built
+/// SketchIndex (typically a deserialized partition snapshot, see
+/// SketchIndex::ExportPartitions) as a read-only member of the served
+/// corpus. Queries scatter across the engine-owned index and every
+/// attached partition and merge the partial results by the deterministic
+/// (distance, id) order, so results are byte-identical to querying one
+/// merged index — at any partition count, shard count or thread count.
+/// Attach/Detach take the same write lock Insert does; in-flight queries
+/// always see a consistent partition set.
 class Engine {
  public:
   /// Deadline sentinels, re-exported from RequestOptions (see there for
@@ -252,10 +277,32 @@ class Engine {
   Status InsertVector(std::string id, const std::vector<double>& x,
                       uint64_t noise_seed);
 
+  /// Total served corpus size: the engine-owned index plus every attached
+  /// partition.
   int64_t index_size() const;
-  /// Ids in insertion order (copied under the read lock).
+  /// Ids of the served corpus: the engine-owned index's insertion order,
+  /// then each attached partition's insertion order in attach order
+  /// (copied under the read lock).
   std::vector<std::string> ids() const;
+  /// Snapshot of the engine-OWNED index only; attached partitions are
+  /// serialized by whoever built them (they are read-only here).
   std::string SerializeIndex() const;
+
+  // --- partitioned serving ---
+
+  /// Adopts `partition` as a read-only member of the served corpus and
+  /// returns its detach handle. Fails with kFailedPrecondition when the
+  /// partition's compatibility fingerprint differs from the corpus's, and
+  /// with kInvalidArgument when any of its ids is already served. An empty
+  /// partition attaches trivially. Exclusive with queries (write lock).
+  Result<int64_t> AttachPartition(SketchIndex partition);
+
+  /// Removes a previously attached partition; kNotFound for a handle that
+  /// was never issued or is already detached.
+  Status DetachPartition(int64_t handle);
+
+  /// Number of currently attached partitions.
+  int64_t num_partitions() const;
 
   Result<std::vector<SketchIndex::Neighbor>> NearestNeighbors(
       const PrivateSketch& query, int64_t top_n) const;
@@ -342,6 +389,29 @@ class Engine {
 
   RequestQueue::Clock::time_point DeadlineFor(int64_t deadline_ms) const;
 
+  /// Scatter-gather query cores. Callers hold the read side of
+  /// `index_mutex_`; `pool` is the engine pool for direct calls and null
+  /// for probes that already run on the pool (no nested parallelism).
+  Result<std::vector<SketchIndex::Neighbor>> NearestNeighborsLocked(
+      const PrivateSketch& query, int64_t top_n, ThreadPool* pool) const;
+  Result<std::vector<SketchIndex::Neighbor>> RangeQueryLocked(
+      const PrivateSketch& query, double radius_sq, ThreadPool* pool) const;
+
+  /// Lookup across the owned index and every attached partition.
+  const PrivateSketch* FindLocked(const std::string& id) const;
+
+  /// CompatibilityFingerprint of the served corpus (0 when empty).
+  uint64_t CorpusFingerprintLocked() const;
+
+  /// Uniqueness + compatibility admission check for a new insert when
+  /// partitions are attached (the owned index can only vouch for itself).
+  /// `corpus_fingerprint` is CorpusFingerprintLocked(), hoisted by the
+  /// caller so batch inserts validate against it once per item, not
+  /// recompute it.
+  Status CheckInsertLocked(const std::string& id,
+                           const SketchMetadata& metadata,
+                           uint64_t corpus_fingerprint) const;
+
   /// Shared Submit plumbing: wraps `compute` in a queue request that
   /// fulfills `state` with either the computed result or the queue's
   /// failure status.
@@ -377,6 +447,9 @@ class Engine {
 
   mutable std::shared_mutex index_mutex_;
   SketchIndex index_;
+  /// Attached read-only partitions, in attach order, with their handles.
+  std::vector<std::pair<int64_t, SketchIndex>> partitions_;
+  int64_t next_partition_handle_ = 1;
 
   /// shared_ptr so futures can hold a weak reference for Cancel() that
   /// outlives the engine safely.

@@ -10,7 +10,9 @@ namespace dpjl {
 
 namespace {
 
-constexpr char kIndexMagic[8] = {'D', 'P', 'J', 'L', 'I', 'X', '0', '1'};
+/// Pre-envelope ("v0") snapshot magic; still accepted by Deserialize's
+/// legacy path, never written anymore.
+constexpr char kLegacyIndexMagic[8] = {'D', 'P', 'J', 'L', 'I', 'X', '0', '1'};
 
 void AppendU64(std::string* out, uint64_t v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -29,15 +31,14 @@ bool Fits(const std::string& in, size_t offset, uint64_t len) {
   return len <= in.size() - offset;
 }
 
-bool NeighborLess(const SketchIndex::Neighbor& a,
-                  const SketchIndex::Neighbor& b) {
+}  // namespace
+
+bool SketchIndex::NeighborLess(const Neighbor& a, const Neighbor& b) {
   if (a.squared_distance != b.squared_distance) {
     return a.squared_distance < b.squared_distance;
   }
   return a.id < b.id;
 }
-
-}  // namespace
 
 SketchIndex::SketchIndex(int num_shards)
     : shards_(static_cast<size_t>(std::max(1, num_shards))) {}
@@ -68,10 +69,15 @@ Status SketchIndex::Add(std::string id, PrivateSketch sketch) {
           "sketch is incompatible with the index's projection");
     }
   }
+  AppendEntry(std::move(id), std::move(sketch));
+  return Status::OK();
+}
+
+void SketchIndex::AppendEntry(std::string id, PrivateSketch sketch) {
+  Shard& shard = shards_[ShardOf(id)];
   order_.push_back(id);
   shard.by_id.emplace(id, shard.entries.size());
   shard.entries.push_back(Entry{std::move(id), std::move(sketch)});
-  return Status::OK();
 }
 
 Status SketchIndex::AddBatch(
@@ -102,11 +108,7 @@ Status SketchIndex::AddBatch(
   // Validated: commit the whole batch (no fallible step below).
   order_.reserve(order_.size() + items.size());
   for (auto& item : items) {
-    Shard& shard = shards_[ShardOf(item.first)];
-    order_.push_back(item.first);
-    shard.by_id.emplace(item.first, shard.entries.size());
-    shard.entries.push_back(
-        Entry{std::move(item.first), std::move(item.second)});
+    AppendEntry(std::move(item.first), std::move(item.second));
   }
   return Status::OK();
 }
@@ -190,13 +192,24 @@ Result<std::vector<SketchIndex::Neighbor>> SketchIndex::RangeQuery(
 
 Result<SketchIndex::DistanceMatrix> SketchIndex::AllPairsDistances(
     ThreadPool* pool) const {
-  const int64_t n = size();
-  DistanceMatrix matrix;
-  matrix.ids = order_;
-  matrix.values.assign(static_cast<size_t>(n * n), 0.0);
   std::vector<const PrivateSketch*> sketches;
-  sketches.reserve(static_cast<size_t>(n));
+  sketches.reserve(order_.size());
   for (const std::string& id : order_) sketches.push_back(Find(id));
+  return ComputeAllPairs(order_, sketches, pool);
+}
+
+Result<SketchIndex::DistanceMatrix> SketchIndex::ComputeAllPairs(
+    std::vector<std::string> ids,
+    const std::vector<const PrivateSketch*>& sketches, ThreadPool* pool) {
+  DPJL_CHECK(ids.size() == sketches.size(),
+             "ComputeAllPairs requires one id per sketch");
+  for (const PrivateSketch* sketch : sketches) {
+    DPJL_CHECK(sketch != nullptr, "ComputeAllPairs requires non-null sketches");
+  }
+  const int64_t n = static_cast<int64_t>(sketches.size());
+  DistanceMatrix matrix;
+  matrix.ids = std::move(ids);
+  matrix.values.assign(static_cast<size_t>(n * n), 0.0);
 
   // Row i owns every pair (i, j), j > i, and mirrors it into (j, i); each
   // cell is written by exactly one row task, so rows parallelize freely.
@@ -220,11 +233,11 @@ Result<SketchIndex::DistanceMatrix> SketchIndex::AllPairsDistances(
   return matrix;
 }
 
-std::string SketchIndex::Serialize() const {
+std::string SketchIndex::SerializeRange(size_t begin, size_t end) const {
   std::string out;
-  out.append(kIndexMagic, sizeof(kIndexMagic));
-  AppendU64(&out, static_cast<uint64_t>(order_.size()));
-  for (const std::string& id : order_) {
+  AppendU64(&out, static_cast<uint64_t>(end - begin));
+  for (size_t i = begin; i < end; ++i) {
+    const std::string& id = order_[i];
     const std::string blob = Find(id)->Serialize();
     AppendU64(&out, id.size());
     out.append(id);
@@ -234,12 +247,32 @@ std::string SketchIndex::Serialize() const {
   return out;
 }
 
+std::string SketchIndex::Serialize() const {
+  return EncodeSnapshot(SnapshotKind::kIndex,
+                        SerializeRange(0, order_.size()));
+}
+
 Result<SketchIndex> SketchIndex::Deserialize(const std::string& bytes) {
-  if (bytes.size() < sizeof(kIndexMagic) ||
-      std::memcmp(bytes.data(), kIndexMagic, sizeof(kIndexMagic)) != 0) {
+  if (HasSnapshotMagic(bytes)) {
+    DPJL_ASSIGN_OR_RETURN(const SnapshotEnvelope envelope,
+                          DecodeSnapshot(bytes));
+    if (envelope.kind != SnapshotKind::kIndex) {
+      return Status::DataLoss(
+          "snapshot is not a sketch index (payload kind mismatch)");
+    }
+    return DecodeRecords(envelope.payload, 0);
+  }
+  // Legacy pre-envelope blobs: bare magic + record stream, no checksum.
+  if (bytes.size() < sizeof(kLegacyIndexMagic) ||
+      std::memcmp(bytes.data(), kLegacyIndexMagic,
+                  sizeof(kLegacyIndexMagic)) != 0) {
     return Status::DataLoss("bad index magic/version");
   }
-  size_t offset = sizeof(kIndexMagic);
+  return DecodeRecords(bytes, sizeof(kLegacyIndexMagic));
+}
+
+Result<SketchIndex> SketchIndex::DecodeRecords(const std::string& bytes,
+                                               size_t offset) {
   uint64_t count = 0;
   if (!ReadU64(bytes, &offset, &count)) {
     return Status::DataLoss("truncated index header");
@@ -271,6 +304,103 @@ Result<SketchIndex> SketchIndex::Deserialize(const std::string& bytes) {
     return Status::DataLoss("trailing bytes after index payload");
   }
   return index;
+}
+
+Result<SketchIndex::PartitionedSnapshot> SketchIndex::ExportPartitions(
+    int num_partitions) const {
+  if (num_partitions < 1) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  const size_t n = order_.size();
+  const size_t k = static_cast<size_t>(num_partitions);
+  PartitionedSnapshot snapshot;
+  snapshot.manifest.total_count = static_cast<int64_t>(n);
+  snapshot.manifest.fingerprint =
+      n == 0 ? 0 : CompatibilityFingerprint(Find(order_.front())->metadata());
+  snapshot.manifest.partitions.reserve(k);
+  snapshot.partitions.reserve(k);
+  for (size_t p = 0; p < k; ++p) {
+    // Balanced contiguous insertion-order ranges: partition p owns
+    // [n*p/k, n*(p+1)/k). Trailing partitions are empty when k > n.
+    const size_t begin = n * p / k;
+    const size_t end = n * (p + 1) / k;
+    std::string blob =
+        EncodeSnapshot(SnapshotKind::kIndex, SerializeRange(begin, end));
+    ShardManifest::Partition entry;
+    entry.count = static_cast<int64_t>(end - begin);
+    if (begin < end) {
+      entry.first_id = order_[begin];
+      entry.last_id = order_[end - 1];
+    }
+    entry.checksum = SnapshotChecksum(blob);
+    snapshot.manifest.partitions.push_back(std::move(entry));
+    snapshot.partitions.push_back(std::move(blob));
+  }
+  return snapshot;
+}
+
+Result<SketchIndex> SketchIndex::FromPartitions(
+    const ShardManifest& manifest, const std::vector<std::string>& partitions,
+    int num_shards) {
+  if (partitions.size() != manifest.partitions.size()) {
+    return Status::DataLoss(
+        "manifest/partition count disagreement: manifest describes " +
+        std::to_string(manifest.partitions.size()) + " partitions, " +
+        std::to_string(partitions.size()) + " were provided");
+  }
+  // No allocation is sized from the manifest: its counts are untrusted
+  // until each partition blob has decoded and matched them.
+  SketchIndex merged(num_shards);
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    const ShardManifest::Partition& expected = manifest.partitions[p];
+    // Checksum first: a blob that doesn't match its manifest entry is
+    // rejected before any decoding work (or decode-time surprises).
+    if (SnapshotChecksum(partitions[p]) != expected.checksum) {
+      return Status::DataLoss("partition " + std::to_string(p) +
+                              " checksum disagrees with the manifest");
+    }
+    DPJL_ASSIGN_OR_RETURN(SketchIndex part, Deserialize(partitions[p]));
+    if (part.size() != expected.count) {
+      return Status::DataLoss(
+          "partition " + std::to_string(p) + " holds " +
+          std::to_string(part.size()) + " sketches, manifest declares " +
+          std::to_string(expected.count));
+    }
+    if (part.size() > 0) {
+      if (part.order_.front() != expected.first_id ||
+          part.order_.back() != expected.last_id) {
+        return Status::DataLoss("partition " + std::to_string(p) +
+                                " id range disagrees with the manifest");
+      }
+      // One fingerprint comparison vouches for the whole partition: its
+      // own Deserialize already proved internal compatibility, so no
+      // sketch metadata is re-scanned here.
+      const uint64_t fingerprint =
+          CompatibilityFingerprint(part.Find(part.order_.front())->metadata());
+      if (fingerprint != manifest.fingerprint) {
+        return Status::FailedPrecondition(
+            "partition " + std::to_string(p) +
+            " was built under a different projection than the manifest's "
+            "compatibility fingerprint");
+      }
+    }
+    for (const std::string& id : part.order_) {
+      if (merged.Find(id) != nullptr) {
+        return Status::InvalidArgument(
+            "duplicate sketch id across partitions: " + id);
+      }
+      Shard& source = part.shards_[part.ShardOf(id)];
+      PrivateSketch& sketch = source.entries[source.by_id.at(id)].sketch;
+      merged.AppendEntry(id, std::move(sketch));
+    }
+  }
+  if (merged.size() != manifest.total_count) {
+    return Status::DataLoss(
+        "merged corpus holds " + std::to_string(merged.size()) +
+        " sketches, manifest declares " +
+        std::to_string(manifest.total_count));
+  }
+  return merged;
 }
 
 }  // namespace dpjl

@@ -11,6 +11,7 @@
 #include "src/common/result.h"
 #include "src/common/thread_pool.h"
 #include "src/core/sketch.h"
+#include "src/core/snapshot.h"
 
 namespace dpjl {
 
@@ -75,6 +76,11 @@ class SketchIndex {
     double squared_distance;
   };
 
+  /// The deterministic (distance, id) total order every query result obeys.
+  /// Exposed so higher layers (partitioned scatter-gather serving) merge
+  /// partial results into the identical order the monolithic scan produces.
+  static bool NeighborLess(const Neighbor& a, const Neighbor& b);
+
   /// The `top_n` stored sketches closest to `query` by estimated squared
   /// distance, ascending (ties broken by id for determinism). `query` may
   /// be a stored sketch or an external compatible one; if it is stored, it
@@ -107,12 +113,57 @@ class SketchIndex {
   };
   Result<DistanceMatrix> AllPairsDistances(ThreadPool* pool = nullptr) const;
 
-  /// Serializes the whole index (ids + sketches, insertion order) to a
-  /// binary string, and back. The format does not encode the shard layout;
-  /// Deserialize may use any shard count. The index persists released
-  /// artifacts only, so the file is as public as the sketches themselves.
+  /// The computation core behind AllPairsDistances, over an explicit
+  /// positional (ids, sketches) pairing — shared with the engine's
+  /// partitioned serving path so the monolithic and scatter-gather
+  /// matrices can never diverge. Row i owns every pair (i, j), j > i, and
+  /// mirrors it; the diagonal is exactly 0.
+  static Result<DistanceMatrix> ComputeAllPairs(
+      std::vector<std::string> ids,
+      const std::vector<const PrivateSketch*>& sketches, ThreadPool* pool);
+
+  /// Serializes the whole index (ids + sketches, insertion order) inside a
+  /// versioned snapshot envelope (see snapshot.h: magic, format version,
+  /// payload kind, size, checksum). The format does not encode the shard
+  /// layout; Deserialize may use any shard count. The index persists
+  /// released artifacts only, so the file is as public as the sketches
+  /// themselves.
+  ///
+  /// Deserialize also accepts pre-envelope "v0" blobs (legacy "DPJLIX01"
+  /// magic, no checksum) so snapshots written before the envelope existed
+  /// keep loading. Serialize always writes the enveloped form.
   std::string Serialize() const;
   static Result<SketchIndex> Deserialize(const std::string& bytes);
+
+  /// A corpus exported as independently loadable partition snapshots plus
+  /// the manifest describing them. Each element of `partitions` is a
+  /// complete snapshot (envelope included) that Deserialize loads on its
+  /// own; the manifest records the partition order, per-partition id
+  /// ranges/counts and checksums, and the corpus compatibility
+  /// fingerprint.
+  struct PartitionedSnapshot {
+    ShardManifest manifest;
+    std::vector<std::string> partitions;
+  };
+
+  /// Splits the corpus into `num_partitions` contiguous insertion-order
+  /// ranges (balanced to within one element; trailing partitions may be
+  /// empty when num_partitions > size()). Concatenating the partitions in
+  /// manifest order reproduces the corpus exactly, so FromPartitions on
+  /// the result is byte-identical to this index's Serialize().
+  Result<PartitionedSnapshot> ExportPartitions(int num_partitions) const;
+
+  /// All-or-nothing merge of independently built partitions: every blob
+  /// must match its manifest entry (checksum before any decoding, then
+  /// count and id range), and the set must share the manifest's
+  /// compatibility fingerprint — cross-partition compatibility is vouched
+  /// for by the fingerprint, not by re-scanning sketch metadata.
+  /// Mismatched blobs yield kDataLoss; a partition built under a different
+  /// projection yields kFailedPrecondition; duplicate ids across
+  /// partitions yield kInvalidArgument. On any error no index is returned.
+  static Result<SketchIndex> FromPartitions(
+      const ShardManifest& manifest, const std::vector<std::string>& partitions,
+      int num_shards = kDefaultShards);
 
   /// Ids in insertion order.
   const std::vector<std::string>& ids() const { return order_; }
@@ -130,6 +181,18 @@ class SketchIndex {
   };
 
   size_t ShardOf(const std::string& id) const;
+
+  /// Appends an entry assuming the caller already established id
+  /// uniqueness and sketch compatibility (Add/AddBatch validation, or a
+  /// manifest fingerprint in FromPartitions).
+  void AppendEntry(std::string id, PrivateSketch sketch);
+
+  /// Record stream for order_[begin, end) — the envelope payload format.
+  std::string SerializeRange(size_t begin, size_t end) const;
+
+  /// Parses a record stream produced by SerializeRange (count + records).
+  static Result<SketchIndex> DecodeRecords(const std::string& bytes,
+                                           size_t offset);
 
   /// Runs `scan(shard_index)` for every shard, on `pool` when provided.
   void ForEachShard(ThreadPool* pool,

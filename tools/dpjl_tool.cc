@@ -8,7 +8,13 @@
 //   estimate      Estimate squared distance between two sketch files.
 //   inspect       Print a sketch file's public metadata.
 //   query         (alias: index-query) Nearest neighbors of a sketch in an
-//                 index file, optionally multi-threaded.
+//                 index file — or across partition snapshots
+//                 (--partitions=a.part,b.part), optionally multi-threaded.
+//   index export-shards   Split an index snapshot into independently
+//                 loadable partition snapshots plus a shard manifest.
+//   index merge-shards    All-or-nothing merge of partition snapshots back
+//                 into one index snapshot, verified against the manifest.
+//   index inspect Print a snapshot envelope's or manifest's fields.
 //   selftest      End-to-end sketch->estimate round trip in a temp
 //                 directory (used by ctest).
 //
@@ -21,15 +27,19 @@
 //   dpjl_tool inspect --sketch a.sketch
 //   dpjl_tool query --index corpus.idx --sketch a.sketch --threads=4
 
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/timer.h"
@@ -55,10 +65,21 @@ void Usage(std::ostream& out) {
          "  dpjl_tool estimate --a FILE --b FILE\n"
          "  dpjl_tool inspect --sketch FILE\n"
          "  dpjl_tool index-add --index FILE --id NAME --sketch FILE\n"
-         "  dpjl_tool query --index FILE --sketch FILE [--top N]\n"
-         "            [engine flags] [request flags]  (alias: index-query;\n"
-         "            submitted async at default priority 'interactive';\n"
-         "            prints engine stats after)\n"
+         "  dpjl_tool query {--index FILE | --partitions A.part,B.part,...}\n"
+         "            --sketch FILE [--top N] [engine flags] [request flags]\n"
+         "            (alias: index-query; submitted async at default\n"
+         "            priority 'interactive'; prints engine stats after.\n"
+         "            With --partitions, every listed partition snapshot is\n"
+         "            attached and the query scatter-gathers across them —\n"
+         "            results are byte-identical to the merged index.)\n"
+         "  dpjl_tool index export-shards --index FILE --output-prefix P\n"
+         "            --partitions N  (writes P<i>.part for each partition\n"
+         "            and the shard manifest to Pmanifest)\n"
+         "  dpjl_tool index merge-shards --manifest FILE --parts A,B,...\n"
+         "            --output FILE  (all-or-nothing; the merged snapshot is\n"
+         "            byte-identical to the index the shards were exported\n"
+         "            from)\n"
+         "  dpjl_tool index inspect {--index FILE | --manifest FILE}\n"
          "  dpjl_tool selftest\n"
          "engine flags (one shared config path, see EngineOptions::Parse):\n"
          "  sketcher: --epsilon E --delta D --alpha A --beta B --seed S\n"
@@ -71,6 +92,8 @@ void Usage(std::ostream& out) {
          "            --tenant-quota N (0 = unlimited) --deadline-ms MS\n"
          "request flags (per-submission scheduling, see RequestOptions):\n"
          "  --priority interactive|batch|best-effort --tenant NAME\n"
+         "observability: --stats-interval-ms N on query/sketch-batch dumps\n"
+         "  periodic EngineStats deltas (rates) to stderr while running\n"
          "flags accept both '--key value' and '--key=value'\n"
          "every subcommand accepts --help / -h\n";
 }
@@ -206,9 +229,11 @@ Result<std::string> ReadFile(const std::string& path) {
 Result<EngineOptions> OptionsFromFlags(
     std::map<std::string, std::string> flags) {
   static const std::vector<std::string> kToolKeys = {
-      "input", "output",   "output-prefix", "noise-seed", "base-noise-seed",
-      "a",     "b",        "sketch",        "index",      "id",
-      "top",   "priority", "tenant"};
+      "input",      "output",   "output-prefix", "noise-seed",
+      "base-noise-seed", "a",   "b",             "sketch",
+      "index",      "id",       "top",           "priority",
+      "tenant",     "partitions", "manifest",    "parts",
+      "stats-interval-ms"};
   flags.emplace("epsilon", "1.0");
   flags.emplace("alpha", "0.2");
   flags.emplace("beta", "0.05");
@@ -222,6 +247,59 @@ Result<EngineOptions> OptionsFromFlags(
 void DumpEngineStats(const Engine& engine, std::ostream& out) {
   engine.WaitIdle();
   out << "engine stats:\n" << engine.Stats().ToString();
+}
+
+// Periodic EngineStats::Delta dump for scrapers: with --stats-interval-ms,
+// a background thread prints the counter movement of each interval (rates,
+// not cumulative totals) to `out` until the command's work completes.
+class PeriodicStatsDumper {
+ public:
+  PeriodicStatsDumper(const Engine& engine, int64_t interval_ms,
+                      std::ostream& out) {
+    if (interval_ms <= 0) return;
+    thread_ = std::thread([this, &engine, &out, interval_ms] {
+      EngineStats prev = engine.Stats();
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!stop_) {
+        if (done_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                           [this] { return stop_; })) {
+          break;
+        }
+        const EngineStats now = engine.Stats();
+        out << "engine stats delta (" << interval_ms << "ms):\n"
+            << now.Delta(prev).ToString();
+        prev = now;
+      }
+    });
+  }
+
+  ~PeriodicStatsDumper() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    done_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable done_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+// Comma-separated value list (e.g. --partitions=a.part,b.part). Empty
+// segments are dropped so a trailing comma is harmless.
+std::vector<std::string> SplitCsvList(const std::string& csv) {
+  std::vector<std::string> items;
+  std::istringstream in(csv);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
 }
 
 // Per-request scheduling flags shared by the async subcommands; the
@@ -315,6 +393,9 @@ int CmdSketchBatch(const std::map<std::string, std::string>& flags) {
     std::cerr << request.status() << "\n";
     return 1;
   }
+  const int64_t stats_interval_ms =
+      std::atoll(FlagOr(flags, "stats-interval-ms", "0").c_str());
+  const PeriodicStatsDumper dumper(**engine, stats_interval_ms, std::cerr);
   // The whole batch is one queued request in the batch lane (one admission
   // and one quota unit, however many rows), so interactive queries sharing
   // the engine keep priority over this backfill.
@@ -491,20 +572,13 @@ int CmdIndexAdd(const std::map<std::string, std::string>& flags) {
 
 int CmdIndexQuery(const std::map<std::string, std::string>& flags) {
   const std::string index_path = FlagOr(flags, "index", "");
+  const std::string partitions_csv = FlagOr(flags, "partitions", "");
   const std::string sketch_path = FlagOr(flags, "sketch", "");
-  if (index_path.empty() || sketch_path.empty()) {
+  // Exactly one corpus source: a monolithic index file, or a list of
+  // partition snapshots to scatter-gather across.
+  if (index_path.empty() == partitions_csv.empty() || sketch_path.empty()) {
     Usage(std::cerr);
     return 2;
-  }
-  auto index_bytes = ReadFile(index_path);
-  if (!index_bytes.ok()) {
-    std::cerr << index_bytes.status() << "\n";
-    return 1;
-  }
-  auto index = SketchIndex::Deserialize(*index_bytes);
-  if (!index.ok()) {
-    std::cerr << index.status() << "\n";
-    return 1;
   }
   auto sketch_bytes = ReadFile(sketch_path);
   if (!sketch_bytes.ok()) {
@@ -527,14 +601,55 @@ int CmdIndexQuery(const std::map<std::string, std::string>& flags) {
     std::cerr << request.status() << "\n";
     return 1;
   }
-  // Serving-only engine over the released index: same pool/shard scan as
-  // before, now behind the one facade every caller shares. The query goes
-  // through the submission path so the stats dump below reflects it.
-  auto engine = Engine::FromIndex(std::move(index).value(), *options);
+  // Serving-only engine over released artifacts: either the deserialized
+  // monolithic index, or an empty index with every partition snapshot
+  // attached (byte-identical results either way, by the engine's
+  // scatter-gather determinism contract). The query goes through the
+  // submission path so the stats dump below reflects it.
+  Result<std::unique_ptr<Engine>> engine =
+      Status::Internal("engine not built");
+  if (!index_path.empty()) {
+    auto index_bytes = ReadFile(index_path);
+    if (!index_bytes.ok()) {
+      std::cerr << index_bytes.status() << "\n";
+      return 1;
+    }
+    auto index = SketchIndex::Deserialize(*index_bytes);
+    if (!index.ok()) {
+      std::cerr << index.status() << "\n";
+      return 1;
+    }
+    engine = Engine::FromIndex(std::move(index).value(), *options);
+  } else {
+    engine = Engine::FromIndex(SketchIndex(), *options);
+    if (engine.ok()) {
+      for (const std::string& path : SplitCsvList(partitions_csv)) {
+        auto part_bytes = ReadFile(path);
+        if (!part_bytes.ok()) {
+          std::cerr << part_bytes.status() << "\n";
+          return 1;
+        }
+        auto part = SketchIndex::Deserialize(*part_bytes);
+        if (!part.ok()) {
+          std::cerr << path << ": " << part.status() << "\n";
+          return 1;
+        }
+        if (auto attached =
+                (*engine)->AttachPartition(std::move(part).value());
+            !attached.ok()) {
+          std::cerr << path << ": " << attached.status() << "\n";
+          return 1;
+        }
+      }
+    }
+  }
   if (!engine.ok()) {
     std::cerr << engine.status() << "\n";
     return 1;
   }
+  const int64_t stats_interval_ms =
+      std::atoll(FlagOr(flags, "stats-interval-ms", "0").c_str());
+  const PeriodicStatsDumper dumper(**engine, stats_interval_ms, std::cerr);
   const auto neighbors = (*engine)->SubmitQuery(*query, top, *request).Get();
   if (!neighbors.ok()) {
     std::cerr << neighbors.status() << "\n";
@@ -544,6 +659,159 @@ int CmdIndexQuery(const std::map<std::string, std::string>& flags) {
     std::printf("%s\t%.6f\n", n.id.c_str(), n.squared_distance);
   }
   DumpEngineStats(**engine, std::cerr);
+  return 0;
+}
+
+int CmdIndexExportShards(const std::map<std::string, std::string>& flags) {
+  const std::string index_path = FlagOr(flags, "index", "");
+  const std::string prefix = FlagOr(flags, "output-prefix", "");
+  const int64_t partitions =
+      std::atoll(FlagOr(flags, "partitions", "0").c_str());
+  if (index_path.empty() || prefix.empty() || partitions < 1) {
+    Usage(std::cerr);
+    return 2;
+  }
+  auto bytes = ReadFile(index_path);
+  if (!bytes.ok()) {
+    std::cerr << bytes.status() << "\n";
+    return 1;
+  }
+  auto index = SketchIndex::Deserialize(*bytes);
+  if (!index.ok()) {
+    std::cerr << index.status() << "\n";
+    return 1;
+  }
+  auto exported = index->ExportPartitions(static_cast<int>(partitions));
+  if (!exported.ok()) {
+    std::cerr << exported.status() << "\n";
+    return 1;
+  }
+  for (size_t p = 0; p < exported->partitions.size(); ++p) {
+    const std::string path = prefix + std::to_string(p) + ".part";
+    if (const Status written = WriteFile(path, exported->partitions[p]);
+        !written.ok()) {
+      std::cerr << written << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << path << ": "
+              << exported->manifest.partitions[p].count << " sketches\n";
+  }
+  const std::string manifest_path = prefix + "manifest";
+  if (const Status written =
+          WriteFile(manifest_path, exported->manifest.Serialize());
+      !written.ok()) {
+    std::cerr << written << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << manifest_path << ": " << partitions
+            << " partitions, " << exported->manifest.total_count
+            << " sketches total\n";
+  return 0;
+}
+
+int CmdIndexMergeShards(const std::map<std::string, std::string>& flags) {
+  const std::string manifest_path = FlagOr(flags, "manifest", "");
+  const std::string parts_csv = FlagOr(flags, "parts", "");
+  const std::string output = FlagOr(flags, "output", "");
+  if (manifest_path.empty() || parts_csv.empty() || output.empty()) {
+    Usage(std::cerr);
+    return 2;
+  }
+  auto manifest_bytes = ReadFile(manifest_path);
+  if (!manifest_bytes.ok()) {
+    std::cerr << manifest_bytes.status() << "\n";
+    return 1;
+  }
+  auto manifest = ShardManifest::Deserialize(*manifest_bytes);
+  if (!manifest.ok()) {
+    std::cerr << manifest.status() << "\n";
+    return 1;
+  }
+  std::vector<std::string> parts;
+  for (const std::string& path : SplitCsvList(parts_csv)) {
+    auto part_bytes = ReadFile(path);
+    if (!part_bytes.ok()) {
+      std::cerr << part_bytes.status() << "\n";
+      return 1;
+    }
+    parts.push_back(std::move(*part_bytes));
+  }
+  auto merged = SketchIndex::FromPartitions(*manifest, parts);
+  if (!merged.ok()) {
+    std::cerr << merged.status() << "\n";
+    return 1;
+  }
+  if (const Status written = WriteFile(output, merged->Serialize());
+      !written.ok()) {
+    std::cerr << written << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << output << ": merged " << parts.size()
+            << " partitions into " << merged->size() << " sketches\n";
+  return 0;
+}
+
+int CmdIndexInspect(const std::map<std::string, std::string>& flags) {
+  const std::string index_path = FlagOr(flags, "index", "");
+  const std::string manifest_path = FlagOr(flags, "manifest", "");
+  if (index_path.empty() == manifest_path.empty()) {
+    Usage(std::cerr);
+    return 2;
+  }
+  auto bytes = ReadFile(index_path.empty() ? manifest_path : index_path);
+  if (!bytes.ok()) {
+    std::cerr << bytes.status() << "\n";
+    return 1;
+  }
+  if (!manifest_path.empty()) {
+    auto manifest = ShardManifest::Deserialize(*bytes);
+    if (!manifest.ok()) {
+      std::cerr << manifest.status() << "\n";
+      return 1;
+    }
+    std::printf("kind\tshard-manifest\n");
+    std::printf("total_count\t%lld\n",
+                static_cast<long long>(manifest->total_count));
+    std::printf("fingerprint\t%016llx\n",
+                static_cast<unsigned long long>(manifest->fingerprint));
+    std::printf("partitions\t%zu\n", manifest->partitions.size());
+    for (size_t p = 0; p < manifest->partitions.size(); ++p) {
+      const ShardManifest::Partition& entry = manifest->partitions[p];
+      std::printf("partition.%zu\tcount=%lld checksum=%016llx range=[%s, %s]\n",
+                  p, static_cast<long long>(entry.count),
+                  static_cast<unsigned long long>(entry.checksum),
+                  entry.first_id.c_str(), entry.last_id.c_str());
+    }
+    return 0;
+  }
+  if (HasSnapshotMagic(*bytes)) {
+    auto envelope = DecodeSnapshot(*bytes);
+    if (!envelope.ok()) {
+      std::cerr << envelope.status() << "\n";
+      return 1;
+    }
+    std::printf("format\tsnapshot-envelope v%u\n", envelope->version);
+    std::printf("payload_kind\t%s\n",
+                envelope->kind == SnapshotKind::kIndex ? "index" : "manifest");
+    std::printf("payload_bytes\t%zu\n", envelope->payload.size());
+    std::printf("payload_checksum\t%016llx\n",
+                static_cast<unsigned long long>(envelope->checksum));
+  } else {
+    std::printf("format\tv0 (legacy, pre-envelope; no checksum)\n");
+  }
+  auto index = SketchIndex::Deserialize(*bytes);
+  if (!index.ok()) {
+    std::cerr << index.status() << "\n";
+    return 1;
+  }
+  std::printf("sketch_count\t%lld\n", static_cast<long long>(index->size()));
+  if (index->size() > 0) {
+    const SketchMetadata& metadata =
+        index->Find(index->ids().front())->metadata();
+    std::printf("fingerprint\t%016llx\n",
+                static_cast<unsigned long long>(
+                    CompatibilityFingerprint(metadata)));
+  }
   return 0;
 }
 
@@ -700,6 +968,68 @@ int CmdSelftest() {
     }
   }
 
+  // Partitioned persistence round trip through the file-based
+  // subcommands: export the batch corpus as two shards, merge them back,
+  // and require the merged snapshot byte-identical to the original — then
+  // serve the query directly from the partition files and require the
+  // ranking identical to the monolithic one.
+  rc = CmdIndexExportShards({{"index", dir + "/batch.index"},
+                             {"output-prefix", dir + "/shard."},
+                             {"partitions", "2"}});
+  if (rc != 0) return rc;
+  rc = CmdIndexMergeShards(
+      {{"manifest", dir + "/shard.manifest"},
+       {"parts", dir + "/shard.0.part," + dir + "/shard.1.part"},
+       {"output", dir + "/merged.index"}});
+  if (rc != 0) return rc;
+  if (*ReadFile(dir + "/merged.index") != *ReadFile(dir + "/batch.index")) {
+    std::cerr << "selftest FAILED: merged shards differ from the original "
+                 "index snapshot\n";
+    return 1;
+  }
+  rc = CmdIndexQuery(
+      {{"partitions", dir + "/shard.0.part," + dir + "/shard.1.part"},
+       {"sketch", dir + "/row0.sketch"},
+       {"top", "2"}});
+  if (rc != 0) return rc;
+  rc = CmdIndexInspect({{"manifest", dir + "/shard.manifest"}});
+  if (rc != 0) return rc;
+  {
+    auto batch_index =
+        SketchIndex::Deserialize(*ReadFile(dir + "/batch.index"));
+    auto row0 = PrivateSketch::Deserialize(*ReadFile(dir + "/row0.sketch"));
+    if (!batch_index.ok() || !row0.ok()) return 1;
+    const auto monolithic = batch_index->NearestNeighbors(*row0, 2);
+    auto options_partitioned = OptionsFromFlags({{"threads", "2"}});
+    if (!options_partitioned.ok()) return 1;
+    auto server = Engine::FromIndex(SketchIndex(), *options_partitioned);
+    if (!server.ok()) return 1;
+    for (const std::string& part_path :
+         {dir + "/shard.0.part", dir + "/shard.1.part"}) {
+      auto part = SketchIndex::Deserialize(*ReadFile(part_path));
+      if (!part.ok() ||
+          !(*server)->AttachPartition(std::move(part).value()).ok()) {
+        std::cerr << "selftest FAILED: partition attach\n";
+        return 1;
+      }
+    }
+    const auto scattered = (*server)->NearestNeighbors(*row0, 2);
+    if (!monolithic.ok() || !scattered.ok() ||
+        scattered->size() != monolithic->size()) {
+      std::cerr << "selftest FAILED: partitioned query\n";
+      return 1;
+    }
+    for (size_t i = 0; i < monolithic->size(); ++i) {
+      if ((*scattered)[i].id != (*monolithic)[i].id ||
+          (*scattered)[i].squared_distance !=
+              (*monolithic)[i].squared_distance) {
+        std::cerr << "selftest FAILED: partitioned query differs from the "
+                     "monolithic index\n";
+        return 1;
+      }
+    }
+  }
+
   // Serving facade: a threaded engine over the same index must reproduce
   // the serial query byte for byte, both through the sync call and through
   // the async submission path.
@@ -782,6 +1112,25 @@ int Main(int argc, char** argv) {
     return 0;
   }
   const std::string command = argv[1];
+  // The `index` command family takes a second token (export-shards /
+  // merge-shards / inspect); flags start after it.
+  if (command == "index") {
+    if (argc < 3) {
+      Usage(std::cerr);
+      return 2;
+    }
+    const std::string subcommand = argv[2];
+    std::map<std::string, std::string> index_flags;
+    if (!ParseFlags(argc, argv, 3, &index_flags)) {
+      Usage(std::cerr);
+      return 2;
+    }
+    if (subcommand == "export-shards") return CmdIndexExportShards(index_flags);
+    if (subcommand == "merge-shards") return CmdIndexMergeShards(index_flags);
+    if (subcommand == "inspect") return CmdIndexInspect(index_flags);
+    Usage(std::cerr);
+    return 2;
+  }
   std::map<std::string, std::string> flags;
   if (!ParseFlags(argc, argv, 2, &flags)) {
     Usage(std::cerr);
