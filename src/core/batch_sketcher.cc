@@ -1,10 +1,28 @@
 #include "src/core/batch_sketcher.h"
 
+#include <algorithm>
+
+#include "src/jl/transform.h"
+
 namespace dpjl {
 
 BatchSketcher::BatchSketcher(const PrivateSketcher* sketcher, ThreadPool* pool,
                              int64_t grain)
-    : sketcher_(sketcher), pool_(pool), grain_(grain < 1 ? 1 : grain) {}
+    : sketcher_(sketcher), pool_(pool), grain_(grain < 0 ? 0 : grain) {}
+
+int64_t BatchSketcher::ResolveGrain(int64_t batch_size, int threads,
+                                    int64_t requested) {
+  if (requested > 0) return requested;
+  if (threads < 1) threads = 1;
+  if (batch_size <= 0) return kSketchBlockWidth;
+  // ~4 chunks per thread balances load without shrinking chunks to the
+  // one-item tasks the old grain=1 default degenerated to.
+  const int64_t target_chunks = static_cast<int64_t>(threads) * 4;
+  const int64_t raw = (batch_size + target_chunks - 1) / target_chunks;
+  const int64_t aligned =
+      ((raw + kSketchBlockWidth - 1) / kSketchBlockWidth) * kSketchBlockWidth;
+  return std::max<int64_t>(aligned, kSketchBlockWidth);
+}
 
 Result<std::vector<PrivateSketch>> BatchSketcher::BatchSketch(
     const std::vector<std::vector<double>>& xs,
@@ -20,13 +38,19 @@ Result<std::vector<PrivateSketch>> BatchSketcher::BatchSketch(
           std::to_string(sketcher_->input_dim()));
     }
   }
+  const int64_t grain = ResolveGrain(
+      n, pool_ != nullptr ? pool_->num_threads() : 1, grain_);
   std::vector<PrivateSketch> out(static_cast<size_t>(n));
-  ThreadPool::Run(pool_, 0, n, grain_, [&](int64_t begin, int64_t end) {
+  ThreadPool::Run(pool_, 0, n, grain, [&](int64_t begin, int64_t end) {
+    // One matrix-form call per chunk: the transform rides micro-blocks of
+    // kSketchBlockWidth items while each item keeps its contract seed.
+    std::vector<uint64_t> seeds(static_cast<size_t>(end - begin));
     for (int64_t i = begin; i < end; ++i) {
-      out[static_cast<size_t>(i)] =
-          sketcher_->Sketch(xs[static_cast<size_t>(i)],
-                            BatchItemNoiseSeed(base_noise_seed, i));
+      seeds[static_cast<size_t>(i - begin)] =
+          BatchItemNoiseSeed(base_noise_seed, i);
     }
+    sketcher_->SketchBlock(xs.data() + begin, end - begin, seeds.data(),
+                           out.data() + begin);
   });
   return out;
 }
@@ -42,8 +66,10 @@ Result<std::vector<PrivateSketch>> BatchSketcher::BatchSketchSparse(
           ", sketcher expects " + std::to_string(sketcher_->input_dim()));
     }
   }
+  const int64_t grain = ResolveGrain(
+      n, pool_ != nullptr ? pool_->num_threads() : 1, grain_);
   std::vector<PrivateSketch> out(static_cast<size_t>(n));
-  ThreadPool::Run(pool_, 0, n, grain_, [&](int64_t begin, int64_t end) {
+  ThreadPool::Run(pool_, 0, n, grain, [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       out[static_cast<size_t>(i)] =
           sketcher_->SketchSparse(xs[static_cast<size_t>(i)],

@@ -38,9 +38,21 @@ inline uint64_t BatchItemNoiseSeed(uint64_t base_noise_seed, int64_t index) {
 class BatchSketcher {
  public:
   /// `pool` may be null: every batch then runs serially on the caller.
-  /// `grain` is the minimum number of vectors per scheduled chunk.
+  /// `grain` is the number of vectors per scheduled chunk; 0 (the default)
+  /// derives a grain from the batch size and pool thread count via
+  /// ResolveGrain, which keeps chunks micro-block aligned instead of
+  /// degenerating to one task per item.
   explicit BatchSketcher(const PrivateSketcher* sketcher,
-                         ThreadPool* pool = nullptr, int64_t grain = 1);
+                         ThreadPool* pool = nullptr, int64_t grain = 0);
+
+  /// The chunk size a batch of `batch_size` items uses on `threads`
+  /// threads when the caller requested `requested` (0 = auto). Auto aims
+  /// for ~4 chunks per thread for load balance, rounded up to a multiple
+  /// of kSketchBlockWidth so SIMD micro-blocks run full, and never below
+  /// one micro-block. Chunking affects scheduling only, never output
+  /// (each item's noise seed is a pure function of its index).
+  static int64_t ResolveGrain(int64_t batch_size, int threads,
+                              int64_t requested);
 
   /// Dense batch: sketches[i] == sketcher.Sketch(xs[i],
   /// BatchItemNoiseSeed(base_noise_seed, i)). Fails without sketching

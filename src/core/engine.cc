@@ -135,7 +135,7 @@ Result<EngineOptions> EngineOptions::Parse(
           "k-override",     "s-override",    "noise",
           "placement",      "threads",       "shards",
           "serving-threads", "queue-capacity", "tenant-quota",
-          "deadline-ms",    "starvation-age-ms"};
+          "deadline-ms",    "starvation-age-ms", "batch-grain"};
   for (const auto& entry : flags) {
     if (kRecognized->count(entry.first) == 0 &&
         std::find(passthrough.begin(), passthrough.end(), entry.first) ==
@@ -221,6 +221,10 @@ Result<EngineOptions> EngineOptions::Parse(
         ParseIntFlag("starvation-age-ms", *raw, 0,
                      std::numeric_limits<int64_t>::max() / 2));
   }
+  if (const std::string* raw = find("batch-grain")) {
+    DPJL_ASSIGN_OR_RETURN(options.batch_grain,
+                          ParseIntFlag("batch-grain", *raw, 0, 1 << 20));
+  }
   DPJL_RETURN_IF_ERROR(options.Validate());
   return options;
 }
@@ -241,7 +245,8 @@ std::string EngineOptions::ToString() const {
       << " --queue-capacity=" << queue_capacity
       << " --tenant-quota=" << tenant_quota
       << " --deadline-ms=" << default_deadline_ms
-      << " --starvation-age-ms=" << starvation_age_ms;
+      << " --starvation-age-ms=" << starvation_age_ms
+      << " --batch-grain=" << batch_grain;
   return out.str();
 }
 
@@ -270,6 +275,11 @@ Status EngineOptions::Validate() const {
   if (starvation_age_ms < 0) {
     return Status::InvalidArgument(
         "starvation-age-ms must be non-negative (0 = strict priority)");
+  }
+  if (batch_grain < 0 || batch_grain > (int64_t{1} << 20)) {
+    return Status::InvalidArgument(
+        "batch-grain must lie in [0, 2^20] (0 = auto from batch size and "
+        "threads)");
   }
   return Status::OK();
 }
@@ -303,7 +313,7 @@ Engine::Engine(EngineOptions options, std::optional<PrivateSketcher> sketcher,
   const int threads =
       options_.threads == 0 ? ThreadPool::DefaultThreadCount() : options_.threads;
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
-  if (sketcher_) batcher_.emplace(&*sketcher_, pool_.get());
+  if (sketcher_) batcher_.emplace(&*sketcher_, pool_.get(), options_.batch_grain);
 }
 
 void Engine::EnsureServing() {

@@ -61,6 +61,12 @@ struct EngineOptions {
   /// do not pass their own; 0 means no deadline.
   int64_t default_deadline_ms = 0;
 
+  /// Vectors per scheduled chunk in SketchBatch: 0 (the default) derives a
+  /// grain from batch size and thread count (BatchSketcher::ResolveGrain);
+  /// explicit values are taken as-is. Affects scheduling only, never
+  /// output.
+  int64_t batch_grain = 0;
+
   /// Anti-starvation knob: a queued batch or best-effort request older
   /// than this many milliseconds is promoted one lane at pop time (see
   /// RequestQueue). 0 (the default) keeps strict priority, under which a
@@ -71,7 +77,7 @@ struct EngineOptions {
   /// dpjl_tool already builds): epsilon, delta, alpha, beta, seed,
   /// transform, k-override, s-override, noise, placement, threads, shards,
   /// serving-threads, queue-capacity, tenant-quota, deadline-ms,
-  /// starvation-age-ms. A key
+  /// starvation-age-ms, batch-grain. A key
   /// that is neither recognized nor listed in `passthrough` is an error
   /// (catching typos like --epsilno); callers that keep their own flags in
   /// the same map (e.g. dpjl_tool's --input) declare them via

@@ -167,6 +167,51 @@ PrivateSketch PrivateSketcher::Sketch(const std::vector<double>& x,
   return PrivateSketch(std::move(values), MetadataTemplate());
 }
 
+void PrivateSketcher::SketchBlock(const std::vector<double>* xs, int64_t count,
+                                  const uint64_t* noise_seeds,
+                                  PrivateSketch* out) const {
+  if (count <= 0) return;
+  const SketchMetadata meta = MetadataTemplate();
+  std::vector<double> scratch;
+  std::vector<std::vector<double>> values(static_cast<size_t>(count));
+  switch (config_.placement) {
+    case NoisePlacement::kOutput: {
+      transform_->ApplyBlock(xs, count, values.data(), &scratch);
+      for (int64_t i = 0; i < count; ++i) {
+        Rng rng(noise_seeds[i]);
+        mechanism_.AddNoise(&values[static_cast<size_t>(i)], &rng);
+      }
+      break;
+    }
+    case NoisePlacement::kInput: {
+      // Per-item input perturbation first (the serial draw order), then one
+      // block transform over the perturbed vectors.
+      std::vector<std::vector<double>> perturbed(xs, xs + count);
+      for (int64_t i = 0; i < count; ++i) {
+        Rng rng(noise_seeds[i]);
+        mechanism_.AddNoise(&perturbed[static_cast<size_t>(i)], &rng);
+      }
+      transform_->ApplyBlock(perturbed.data(), count, values.data(), &scratch);
+      break;
+    }
+    case NoisePlacement::kPostHadamard: {
+      const double stddev = mechanism_.private_release()
+                                ? mechanism_.distribution().scale()
+                                : 0.0;
+      std::vector<Rng> rngs;
+      rngs.reserve(static_cast<size_t>(count));
+      for (int64_t i = 0; i < count; ++i) rngs.emplace_back(noise_seeds[i]);
+      fjlt_view_->ApplyBlockWithPostHadamardNoise(xs, count, stddev,
+                                                  rngs.data(), values.data(),
+                                                  &scratch);
+      break;
+    }
+  }
+  for (int64_t i = 0; i < count; ++i) {
+    out[i] = PrivateSketch(std::move(values[static_cast<size_t>(i)]), meta);
+  }
+}
+
 PrivateSketch PrivateSketcher::SketchSparse(const SparseVector& x,
                                             uint64_t noise_seed) const {
   DPJL_CHECK(x.dim() == transform_->input_dim(), "input dimension mismatch");

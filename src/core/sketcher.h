@@ -75,6 +75,14 @@ class PrivateSketcher {
   /// Sparse fast path: O(s ||x||_0 + k) for the SJLT (Theorem 3.5).
   PrivateSketch SketchSparse(const SparseVector& x, uint64_t noise_seed) const;
 
+  /// Matrix-form batch sketch: out[i] is bit-identical to
+  /// Sketch(xs[i], noise_seeds[i]) for i in [0, count), but the transform
+  /// runs one micro-block of kSketchBlockWidth vectors at a time through
+  /// the SIMD block kernels (src/linalg/kernels.h) while noise stays
+  /// strictly per-item. Zero per-item allocations beyond the outputs.
+  void SketchBlock(const std::vector<double>* xs, int64_t count,
+                   const uint64_t* noise_seeds, PrivateSketch* out) const;
+
   /// Analytic estimator variance for a pair at squared distance `z2sq` with
   /// fourth-power norm `z4p4` (both parties using this configuration).
   VarianceBreakdown PredictVariance(double z2sq, double z4p4) const;

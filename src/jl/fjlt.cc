@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/linalg/hadamard.h"
+#include "src/linalg/kernels.h"
 #include "src/random/rng.h"
 #include "src/random/splitmix64.h"
 
@@ -66,14 +67,9 @@ std::vector<double> Fjlt::Apply(const std::vector<double>& x) const {
   NormalizedFwhtInPlace(&w);
   // y = P w / sqrt(k).
   const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k_));
-  std::vector<double> y(static_cast<size_t>(k_), 0.0);
-  for (int64_t i = 0; i < k_; ++i) {
-    double acc = 0.0;
-    for (int64_t n = row_ptr_[i]; n < row_ptr_[i + 1]; ++n) {
-      acc += values_[n] * w[col_idx_[n]];
-    }
-    y[i] = acc * inv_sqrt_k;
-  }
+  std::vector<double> y(static_cast<size_t>(k_));
+  Kernels().csr_apply(row_ptr_.data(), col_idx_.data(), values_.data(), k_,
+                      w.data(), inv_sqrt_k, y.data());
   return y;
 }
 
@@ -92,15 +88,82 @@ std::vector<double> Fjlt::ApplyWithPostHadamardNoise(const std::vector<double>& 
     }
   }
   const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k_));
-  std::vector<double> y(static_cast<size_t>(k_), 0.0);
-  for (int64_t i = 0; i < k_; ++i) {
-    double acc = 0.0;
-    for (int64_t n = row_ptr_[i]; n < row_ptr_[i + 1]; ++n) {
-      acc += values_[n] * w[col_idx_[n]];
-    }
-    y[i] = acc * inv_sqrt_k;
-  }
+  std::vector<double> y(static_cast<size_t>(k_));
+  Kernels().csr_apply(row_ptr_.data(), col_idx_.data(), values_.data(), k_,
+                      w.data(), inv_sqrt_k, y.data());
   return y;
+}
+
+void Fjlt::ApplyBlock(const std::vector<double>* xs, int64_t count,
+                      std::vector<double>* ys,
+                      std::vector<double>* scratch) const {
+  ApplyBlockImpl(xs, count, /*add_noise=*/false, 0.0, nullptr, ys, scratch);
+}
+
+void Fjlt::ApplyBlockWithPostHadamardNoise(const std::vector<double>* xs,
+                                           int64_t count, double noise_stddev,
+                                           Rng* rngs, std::vector<double>* ys,
+                                           std::vector<double>* scratch) const {
+  DPJL_CHECK(noise_stddev >= 0, "noise stddev must be non-negative");
+  ApplyBlockImpl(xs, count, /*add_noise=*/true, noise_stddev, rngs, ys,
+                 scratch);
+}
+
+void Fjlt::ApplyBlockImpl(const std::vector<double>* xs, int64_t count,
+                          bool add_noise, double noise_stddev, Rng* rngs,
+                          std::vector<double>* ys,
+                          std::vector<double>* scratch) const {
+  const KernelOps& ops = Kernels();
+  const double inv_sqrt_dpad = 1.0 / std::sqrt(static_cast<double>(d_pad_));
+  const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k_));
+  // Scratch holds the d_pad x width column block `wb` followed by the
+  // k x width output block `yb`; both sized for a full micro-block and
+  // reused across micro-blocks and calls.
+  const int64_t width_max = std::min<int64_t>(count, kSketchBlockWidth);
+  if (width_max <= 0) return;
+  scratch->resize(static_cast<size_t>((d_pad_ + k_) * width_max));
+  double* wb = scratch->data();
+  double* yb = wb + d_pad_ * width_max;
+  for (int64_t i0 = 0; i0 < count; i0 += kSketchBlockWidth) {
+    const int64_t width = std::min<int64_t>(kSketchBlockWidth, count - i0);
+    for (int64_t t = 0; t < width; ++t) {
+      DPJL_CHECK(static_cast<int64_t>(xs[i0 + t].size()) == d_,
+                 "ApplyBlock: dimension mismatch");
+    }
+    // wb = D x, lane-interleaved, zero-padded rows [d_, d_pad_).
+    for (int64_t j = 0; j < d_; ++j) {
+      const double dj = diagonal_[j];
+      double* row = wb + j * width;
+      for (int64_t t = 0; t < width; ++t) row[t] = dj * xs[i0 + t][j];
+    }
+    for (int64_t j = d_; j < d_pad_; ++j) {
+      double* row = wb + j * width;
+      for (int64_t t = 0; t < width; ++t) row[t] = 0.0;
+    }
+    // wb = H D x: one blocked FWHT pass for the whole micro-block.
+    ops.fwht_block(wb, d_pad_, width);
+    ops.scale(wb, d_pad_ * width, inv_sqrt_dpad);
+    if (add_noise) {
+      // Per-item noise: lane t draws from rngs[i0 + t] in ascending
+      // coordinate order, exactly the serial draw sequence (Note 7 skips
+      // columns P cannot see).
+      for (int64_t f = 0; f < d_pad_; ++f) {
+        if (!column_used_[static_cast<size_t>(f)]) continue;
+        double* row = wb + f * width;
+        for (int64_t t = 0; t < width; ++t) {
+          row[t] += rngs[i0 + t].Gaussian(noise_stddev);
+        }
+      }
+    }
+    // yb = P wb / sqrt(k), then unpack lanes into the per-item outputs.
+    ops.csr_apply_block(row_ptr_.data(), col_idx_.data(), values_.data(), k_,
+                        wb, width, inv_sqrt_k, yb);
+    for (int64_t t = 0; t < width; ++t) {
+      std::vector<double>& y = ys[i0 + t];
+      y.resize(static_cast<size_t>(k_));
+      for (int64_t i = 0; i < k_; ++i) y[i] = yb[i * width + t];
+    }
+  }
 }
 
 double Fjlt::FrobeniusNormSquaredOfP() const {

@@ -36,6 +36,11 @@ class Fjlt : public LinearTransform {
   int64_t input_dim() const override { return d_; }
   int64_t output_dim() const override { return k_; }
   std::vector<double> Apply(const std::vector<double>& x) const override;
+  /// Matrix-form apply: micro-blocks of kSketchBlockWidth inputs share one
+  /// FWHT and one CSR pass. Zero per-item allocations (scratch is reused).
+  void ApplyBlock(const std::vector<double>* xs, int64_t count,
+                  std::vector<double>* ys,
+                  std::vector<double>* scratch) const override;
   void AccumulateColumn(int64_t j, double weight,
                         std::vector<double>* y) const override;
   /// Dominated by the dense P·(column of H) product.
@@ -61,6 +66,16 @@ class Fjlt : public LinearTransform {
                                                  double noise_stddev,
                                                  Rng* rng) const;
 
+  /// Batch form of ApplyWithPostHadamardNoise: `rngs` supplies one
+  /// independent generator per item (noise stays per-item; rngs[i] draws
+  /// exactly the sequence the serial call would). Bit-identical to calling
+  /// ApplyWithPostHadamardNoise(xs[i], noise_stddev, &rngs[i]) per item,
+  /// with zero per-item allocations.
+  void ApplyBlockWithPostHadamardNoise(const std::vector<double>* xs,
+                                       int64_t count, double noise_stddev,
+                                       Rng* rngs, std::vector<double>* ys,
+                                       std::vector<double>* scratch) const;
+
   /// ||P||_F^2 (for conditional-expectation accounting in tests).
   double FrobeniusNormSquaredOfP() const;
 
@@ -68,6 +83,12 @@ class Fjlt : public LinearTransform {
   Fjlt(int64_t d, int64_t d_pad, int64_t k, double q);
 
   void BuildP(uint64_t seed);
+
+  /// Shared engine of ApplyBlock / ApplyBlockWithPostHadamardNoise.
+  void ApplyBlockImpl(const std::vector<double>* xs, int64_t count,
+                      bool add_noise, double noise_stddev, Rng* rngs,
+                      std::vector<double>* ys,
+                      std::vector<double>* scratch) const;
 
   int64_t d_;
   int64_t d_pad_;

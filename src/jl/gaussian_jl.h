@@ -33,6 +33,11 @@ class GaussianJl : public LinearTransform {
   int64_t input_dim() const override { return matrix_.cols(); }
   int64_t output_dim() const override { return matrix_.rows(); }
   std::vector<double> Apply(const std::vector<double>& x) const override;
+  void ApplyBlock(const std::vector<double>* xs, int64_t count,
+                  std::vector<double>* ys,
+                  std::vector<double>* scratch) const override {
+    DenseApplyBlock(matrix_, xs, count, ys, scratch);
+  }
   std::vector<double> ApplySparse(const SparseVector& x) const override;
   void AccumulateColumn(int64_t j, double weight,
                         std::vector<double>* y) const override;

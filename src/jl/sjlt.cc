@@ -1,9 +1,11 @@
 #include "src/jl/sjlt.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
 #include "src/common/check.h"
+#include "src/linalg/kernels.h"
 #include "src/random/rng.h"
 #include "src/random/splitmix64.h"
 
@@ -74,6 +76,59 @@ std::vector<double> Sjlt::Apply(const std::vector<double>& x) const {
     if (x[j] != 0.0) AccumulateColumn(j, x[j], &y);
   }
   return y;
+}
+
+void Sjlt::ApplyBlock(const std::vector<double>* xs, int64_t count,
+                      std::vector<double>* ys,
+                      std::vector<double>* scratch) const {
+  const KernelOps& ops = Kernels();
+  const int64_t width_max = std::min<int64_t>(count, kSketchBlockWidth);
+  if (width_max <= 0) return;
+  // Column patterns, computed once per column for all lanes (the scalar
+  // path re-derives them per item — the hash amortization is the win here).
+  std::vector<int64_t> rows(static_cast<size_t>(s_));
+  std::vector<double> signs(static_cast<size_t>(s_));
+  const int64_t block_rows = k_ / s_;
+  // Scratch: k x width output block followed by one width-lane column.
+  scratch->resize(static_cast<size_t>((k_ + 1) * width_max));
+  double* yb = scratch->data();
+  double* xcol = yb + k_ * width_max;
+  for (int64_t i0 = 0; i0 < count; i0 += kSketchBlockWidth) {
+    const int64_t width = std::min<int64_t>(kSketchBlockWidth, count - i0);
+    for (int64_t t = 0; t < width; ++t) {
+      DPJL_CHECK(static_cast<int64_t>(xs[i0 + t].size()) == d_,
+                 "ApplyBlock: dimension mismatch");
+    }
+    std::fill(yb, yb + k_ * width, 0.0);
+    for (int64_t j = 0; j < d_; ++j) {
+      bool any_nonzero = false;
+      for (int64_t t = 0; t < width; ++t) {
+        xcol[t] = xs[i0 + t][j];
+        any_nonzero |= (xcol[t] != 0.0);
+      }
+      // The scalar path never evaluates a column's hashes when x[j] == 0;
+      // skipping the whole column keeps that (and saves the evals).
+      if (!any_nonzero) continue;
+      const uint64_t uj = static_cast<uint64_t>(j);
+      if (construction_ == SjltConstruction::kBlock) {
+        for (int64_t r = 0; r < s_; ++r) {
+          rows[r] = r * block_rows +
+                    static_cast<int64_t>(row_hashes_[r].EvalRange(
+                        uj, static_cast<uint64_t>(block_rows)));
+          signs[r] = sign_hashes_[r].EvalSign(uj);
+        }
+      } else {
+        GraphColumn(j, rows.data(), signs.data());
+      }
+      ops.sjlt_column_block(xcol, width, inv_sqrt_s_, rows.data(),
+                            signs.data(), s_, yb);
+    }
+    for (int64_t t = 0; t < width; ++t) {
+      std::vector<double>& y = ys[i0 + t];
+      y.resize(static_cast<size_t>(k_));
+      for (int64_t i = 0; i < k_; ++i) y[i] = yb[i * width + t];
+    }
+  }
 }
 
 std::vector<double> Sjlt::ApplySparse(const SparseVector& x) const {

@@ -49,6 +49,12 @@ class Sjlt : public LinearTransform {
   int64_t input_dim() const override { return d_; }
   int64_t output_dim() const override { return k_; }
   std::vector<double> Apply(const std::vector<double>& x) const override;
+  /// Matrix-form apply: the (row, sign) pattern of each column is computed
+  /// once and applied to all kSketchBlockWidth lanes, amortizing the hash
+  /// evaluations (the dominant cost) across the micro-block.
+  void ApplyBlock(const std::vector<double>* xs, int64_t count,
+                  std::vector<double>* ys,
+                  std::vector<double>* scratch) const override;
   std::vector<double> ApplySparse(const SparseVector& x) const override;
   void AccumulateColumn(int64_t j, double weight,
                         std::vector<double>* y) const override;

@@ -11,6 +11,11 @@
 
 namespace dpjl {
 
+/// Lane count of the batch micro-blocks ApplyBlock implementations pack:
+/// wide enough to fill one AVX-512 register (or two AVX2 registers) of
+/// doubles per coordinate.
+inline constexpr int64_t kSketchBlockWidth = 8;
+
 /// A random k x d linear projection with the Length Preserving Property
 /// (Definition 4):  E[ ||S x||_2^2 ] = ||x||_2^2  for every x in R^d.
 ///
@@ -37,6 +42,17 @@ class LinearTransform {
 
   /// y = S x. `x.size()` must equal input_dim().
   virtual std::vector<double> Apply(const std::vector<double>& x) const = 0;
+
+  /// Multi-vector apply: ys[i] = S xs[i] for i in [0, count). Each ys[i] is
+  /// resized to output_dim(). `scratch` is caller-owned reusable workspace
+  /// (grown as needed, never shrunk) so repeated calls do no per-item
+  /// allocation. Overrides pack micro-blocks of kSketchBlockWidth vectors
+  /// into lane-interleaved column blocks and ride one transform pass per
+  /// block (src/linalg/kernels.h); output is bit-identical to calling
+  /// Apply per item. The default loops Apply.
+  virtual void ApplyBlock(const std::vector<double>* xs, int64_t count,
+                          std::vector<double>* ys,
+                          std::vector<double>* scratch) const;
 
   /// y = S x exploiting sparsity of x where the structure allows
   /// (O(s ||x||_0 + k) for the SJLT). Default densifies.
@@ -67,6 +83,14 @@ class LinearTransform {
   /// Intended for tests and exact sensitivity checks on small instances.
   DenseMatrix Materialize() const;
 };
+
+/// Shared ApplyBlock engine for transforms that are a plain dense matrix
+/// (GaussianJl, AchlioptasJl): packs micro-blocks of kSketchBlockWidth
+/// inputs lane-interleaved and runs the multi-vector GEMV kernel.
+/// Bit-identical to m.Apply per item; zero per-item allocations.
+void DenseApplyBlock(const DenseMatrix& m, const std::vector<double>* xs,
+                     int64_t count, std::vector<double>* ys,
+                     std::vector<double>* scratch);
 
 }  // namespace dpjl
 

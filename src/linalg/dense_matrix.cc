@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/linalg/kernels.h"
 
 namespace dpjl {
 
@@ -13,14 +14,18 @@ DenseMatrix::DenseMatrix(int64_t rows, int64_t cols)
 
 std::vector<double> DenseMatrix::Apply(const std::vector<double>& x) const {
   DPJL_CHECK(static_cast<int64_t>(x.size()) == cols_, "Apply: dimension mismatch");
-  std::vector<double> y(rows_, 0.0);
-  for (int64_t r = 0; r < rows_; ++r) {
-    const double* row = &data_[r * cols_];
-    double acc = 0.0;
-    for (int64_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
-    y[r] = acc;
-  }
+  std::vector<double> y(rows_);
+  Kernels().gemv(data_.data(), rows_, cols_, x.data(), y.data());
   return y;
+}
+
+void DenseMatrix::ApplyInto(const double* x, double* y) const {
+  Kernels().gemv(data_.data(), rows_, cols_, x, y);
+}
+
+void DenseMatrix::ApplyBlockInto(const double* x, int64_t width,
+                                 double* y) const {
+  Kernels().gemv_block(data_.data(), rows_, cols_, x, width, y);
 }
 
 std::vector<double> DenseMatrix::ApplySparse(const SparseVector& x) const {

@@ -29,6 +29,15 @@ class DenseMatrix {
   /// y = M x for dense x in R^cols; O(rows * cols).
   std::vector<double> Apply(const std::vector<double>& x) const;
 
+  /// y = M x into caller-owned storage (y must hold rows() doubles, need
+  /// not be zeroed). Allocation-free; the batch hot path.
+  void ApplyInto(const double* x, double* y) const;
+
+  /// Multi-vector apply over a lane-interleaved column block: x packs
+  /// `width` input vectors with element c of lane t at x[c*width + t], and
+  /// y receives the corresponding rows() x width block. Allocation-free.
+  void ApplyBlockInto(const double* x, int64_t width, double* y) const;
+
   /// y = M x for sparse x; O(rows * nnz(x)).
   std::vector<double> ApplySparse(const SparseVector& x) const;
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/linalg/kernels.h"
 
 namespace dpjl {
 
@@ -10,6 +11,9 @@ bool IsPowerOfTwo(int64_t n) { return n >= 1 && (n & (n - 1)) == 0; }
 
 int64_t NextPowerOfTwo(int64_t n) {
   DPJL_CHECK(n >= 1, "NextPowerOfTwo requires n >= 1");
+  // 2^62 is the largest int64_t power of two; one more shift lands in the
+  // sign bit, which is undefined behavior.
+  DPJL_CHECK(n <= (int64_t{1} << 62), "NextPowerOfTwo overflows int64_t");
   int64_t p = 1;
   while (p < n) p <<= 1;
   return p;
@@ -18,23 +22,13 @@ int64_t NextPowerOfTwo(int64_t n) {
 void FwhtInPlace(std::vector<double>* x) {
   const int64_t n = static_cast<int64_t>(x->size());
   DPJL_CHECK(IsPowerOfTwo(n), "FWHT length must be a power of two");
-  std::vector<double>& v = *x;
-  for (int64_t len = 1; len < n; len <<= 1) {
-    for (int64_t block = 0; block < n; block += len << 1) {
-      for (int64_t i = block; i < block + len; ++i) {
-        const double a = v[i];
-        const double b = v[i + len];
-        v[i] = a + b;
-        v[i + len] = a - b;
-      }
-    }
-  }
+  Kernels().fwht(x->data(), n);
 }
 
 void NormalizedFwhtInPlace(std::vector<double>* x) {
   FwhtInPlace(x);
   const double inv_sqrt = 1.0 / std::sqrt(static_cast<double>(x->size()));
-  for (double& v : *x) v *= inv_sqrt;
+  Kernels().scale(x->data(), static_cast<int64_t>(x->size()), inv_sqrt);
 }
 
 double HadamardEntry(int64_t dim, int64_t row, int64_t col) {

@@ -431,7 +431,7 @@ TEST(EngineOptionsTest, ParseAppliesRecognizedKeysAndDeclaredPassthrough) {
       {"threads", "0"},          {"shards", "32"},
       {"serving-threads", "3"},  {"queue-capacity", "17"},
       {"tenant-quota", "9"},     {"deadline-ms", "250"},
-      {"input", "tool-flag.csv"}};
+      {"batch-grain", "24"},     {"input", "tool-flag.csv"}};
   const auto options = EngineOptions::Parse(flags, /*passthrough=*/{"input"});
   ASSERT_TRUE(options.ok()) << options.status();
   EXPECT_DOUBLE_EQ(options->sketcher.epsilon, 4.5);
@@ -446,6 +446,7 @@ TEST(EngineOptionsTest, ParseAppliesRecognizedKeysAndDeclaredPassthrough) {
   EXPECT_EQ(options->queue_capacity, 17);
   EXPECT_EQ(options->tenant_quota, 9);
   EXPECT_EQ(options->default_deadline_ms, 250);
+  EXPECT_EQ(options->batch_grain, 24);
 }
 
 TEST(EngineOptionsTest, ParseRejectsUnknownKeysUnlessPassedThrough) {
@@ -475,7 +476,8 @@ TEST(EngineOptionsTest, ParseRejectsMalformedOrOutOfDomainValues) {
       {{"tenant-quota", "many"}},  {{"deadline-ms", "-5"}},
       {{"transform", "bogus"}},    {{"seed", "-3"}},
       {{"k-override", "-1"}},      {{"noise", "cauchy"}},
-      {{"placement", "sideways"}}};
+      {{"placement", "sideways"}}, {{"batch-grain", "-1"}},
+      {{"batch-grain", "1048577"}}, {{"batch-grain", "coarse"}}};
   for (const auto& flags : bad) {
     const auto options = EngineOptions::Parse(flags);
     EXPECT_FALSE(options.ok())
@@ -507,6 +509,7 @@ TEST(EngineOptionsTest, ToStringParseRoundTrip) {
   options.tenant_quota = 3;
   options.default_deadline_ms = 1500;
   options.starvation_age_ms = 250;
+  options.batch_grain = 40;
 
   // Re-read the canonical "--key=value ..." rendering through a flag map.
   std::map<std::string, std::string> flags;
@@ -537,6 +540,7 @@ TEST(EngineOptionsTest, ToStringParseRoundTrip) {
   EXPECT_EQ(parsed->tenant_quota, options.tenant_quota);
   EXPECT_EQ(parsed->default_deadline_ms, options.default_deadline_ms);
   EXPECT_EQ(parsed->starvation_age_ms, options.starvation_age_ms);
+  EXPECT_EQ(parsed->batch_grain, options.batch_grain);
 }
 
 // ---------------------------------------------------------------------------
