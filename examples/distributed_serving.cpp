@@ -1,0 +1,169 @@
+// Distributed serving end to end, in one process: four serving engines on
+// real loopback sockets, a manifest-routed Router in front, and a kill to
+// prove replica failover — the same topology `dpjl_tool serve` + `route`
+// run as separate processes.
+//
+//   1. build a corpus, export 4 partition snapshots + the shard manifest,
+//   2. start one Server per partition (plus a replica for group 1), each
+//      over its own Engine loaded from the partition blob,
+//   3. route a nearest-neighbor query through the Router and compare it
+//      entry for entry against the monolithic index — the distributed
+//      tier's core guarantee is byte-identity,
+//   4. stop group 1's primary mid-run: the router fails over to the
+//      replica and the answer stays byte-identical,
+//   5. stop the replica too: the query fails with a clean `unavailable`,
+//      never a partial answer.
+//
+// Build & run:  ./build/examples/distributed_serving
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/net/router.h"
+#include "src/net/server.h"
+#include "src/workload/generators.h"
+
+int main() {
+  using namespace dpjl;
+
+  const int64_t d = 512;
+  const int64_t corpus_size = 60;
+  const int partitions = 4;
+
+  EngineOptions options;
+  // Low-noise budget so the ranking below is visibly sensible; the
+  // byte-identity of routed results holds at any epsilon.
+  options.sketcher.epsilon = 30.0;
+  options.sketcher.projection_seed = 0xE14;  // public, shared by all servers
+  options.threads = 2;
+
+  // --- 1. corpus + partition export (see partitioned_corpus.cpp for the
+  // persistence story; here the partitions feed serving processes).
+  auto reference = Engine::Create(d, options);
+  if (!reference.ok()) {
+    std::cerr << reference.status() << "\n";
+    return 1;
+  }
+  Rng rng(0xE14);
+  std::vector<std::vector<double>> vectors;
+  for (int64_t i = 0; i < corpus_size; ++i) {
+    vectors.push_back(DenseGaussianVector(d, 1.0, &rng));
+  }
+  auto sketches = (*reference)->SketchBatch(vectors, /*base_noise_seed=*/777);
+  if (!sketches.ok()) {
+    std::cerr << sketches.status() << "\n";
+    return 1;
+  }
+  std::vector<std::pair<std::string, PrivateSketch>> items;
+  for (int64_t i = 0; i < corpus_size; ++i) {
+    items.emplace_back("doc" + std::to_string(i),
+                       std::move((*sketches)[static_cast<size_t>(i)]));
+  }
+  if (auto added = (*reference)->InsertBatch(std::move(items)); !added.ok()) {
+    std::cerr << added << "\n";
+    return 1;
+  }
+  auto monolithic = SketchIndex::Deserialize((*reference)->SerializeIndex());
+  if (!monolithic.ok()) {
+    std::cerr << monolithic.status() << "\n";
+    return 1;
+  }
+  auto exported = monolithic->ExportPartitions(partitions);
+  if (!exported.ok()) {
+    std::cerr << exported.status() << "\n";
+    return 1;
+  }
+
+  // --- 2. one serving process per partition: Engine over the partition
+  // snapshot behind a blocking-socket Server on an ephemeral loopback
+  // port. Group 1 gets a second replica — the failover subject below.
+  std::vector<std::unique_ptr<Engine>> engines;
+  std::vector<std::unique_ptr<net::Server>> servers;
+  std::vector<std::vector<net::Endpoint>> groups(partitions);
+  auto start_replica = [&](int group) -> bool {
+    auto part = SketchIndex::Deserialize(exported->partitions[group]);
+    if (!part.ok()) {
+      std::cerr << part.status() << "\n";
+      return false;
+    }
+    auto engine = Engine::FromIndex(std::move(part).value(), options);
+    if (!engine.ok()) {
+      std::cerr << engine.status() << "\n";
+      return false;
+    }
+    engines.push_back(std::move(engine).value());
+    auto server = net::Server::Start(engines.back().get(), {});
+    if (!server.ok()) {
+      std::cerr << server.status() << "\n";
+      return false;
+    }
+    groups[group].push_back({(*server)->host(), (*server)->port()});
+    servers.push_back(std::move(server).value());
+    return true;
+  };
+  for (int p = 0; p < partitions; ++p) {
+    if (!start_replica(p)) return 1;
+  }
+  const size_t group1_primary = 1;   // servers[1] serves partition 1 first
+  if (!start_replica(1)) return 1;   // ... and servers[4] is its replica
+  for (int p = 0; p < partitions; ++p) {
+    std::cout << "group " << p << ": " << groups[p].size() << " replica(s), "
+              << exported->manifest.partitions[p].count << " sketches ["
+              << exported->manifest.partitions[p].first_id << " .. "
+              << exported->manifest.partitions[p].last_id << "]\n";
+  }
+
+  // --- 3. the router fans out to one replica per group and merges by the
+  // deterministic (distance, id) order — byte-identical to the monolith.
+  auto router = net::Router::Create(exported->manifest, groups);
+  if (!router.ok()) {
+    std::cerr << router.status() << "\n";
+    return 1;
+  }
+  const PrivateSketch probe = (*reference)->Sketch(vectors[7], 999);
+  auto direct = monolithic->NearestNeighbors(probe, 5);
+  if (!direct.ok()) {
+    std::cerr << direct.status() << "\n";
+    return 1;
+  }
+  auto check_routed = [&](const std::string& label) -> bool {
+    auto routed = (*router)->NearestNeighbors(probe, 5);
+    if (!routed.ok()) {
+      std::cerr << label << ": " << routed.status() << "\n";
+      return false;
+    }
+    bool identical = routed->size() == direct->size();
+    for (size_t i = 0; identical && i < routed->size(); ++i) {
+      identical = (*routed)[i].id == (*direct)[i].id &&
+                  (*routed)[i].squared_distance ==
+                      (*direct)[i].squared_distance;
+    }
+    std::cout << label << ": top-" << routed->size() << " "
+              << (identical ? "byte-identical to the monolithic index"
+                            : "DIFFERS (bug!)")
+              << "\n";
+    return identical;
+  };
+  if (!check_routed("routed 4-server query")) return 1;
+
+  // --- 4. kill group 1's primary: round-robin skips the dead replica on
+  // `unavailable` and the merged answer does not change by a byte.
+  servers[group1_primary]->Stop();
+  if (!check_routed("after primary of group 1 stopped")) return 1;
+
+  // --- 5. kill the replica too: with no live replica for a needed group
+  // the call fails with a clean `unavailable` — never a partial answer.
+  servers.back()->Stop();
+  auto down = (*router)->NearestNeighbors(probe, 5);
+  std::cout << "after the whole group died: "
+            << (down.ok() ? "answered anyway (bug!)" : down.status().ToString())
+            << "\n";
+  if (down.ok() || down.status().code() != StatusCode::kUnavailable) return 1;
+
+  for (auto& server : servers) server->Stop();
+  return 0;
+}

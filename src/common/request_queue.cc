@@ -28,10 +28,11 @@ Result<Priority> ParsePriority(const std::string& raw) {
 }
 
 RequestQueue::RequestQueue(int64_t capacity, int64_t tenant_quota,
-                           Clock::duration starvation_age)
+                           Clock::duration starvation_age, int64_t tenant_rate)
     : capacity_(std::max<int64_t>(1, capacity)),
       tenant_quota_(std::max<int64_t>(0, tenant_quota)),
-      starvation_age_(std::max(Clock::duration::zero(), starvation_age)) {}
+      starvation_age_(std::max(Clock::duration::zero(), starvation_age)),
+      tenant_rate_(std::max<int64_t>(0, tenant_rate)) {}
 
 RequestQueue::~RequestQueue() {
   Close();
@@ -77,8 +78,15 @@ Result<RequestQueue::Ticket> RequestQueue::TryPush(Request request) {
             " queued+in-flight requests; retry after its work completes");
       }
     }
+    const Clock::time_point now = Clock::now();
+    if (!TakeTokenLocked(request.tenant, now)) {
+      ++stats_[lane].refused;
+      return Status::ResourceExhausted(
+          "tenant '" + request.tenant + "' exceeded its rate of " +
+          std::to_string(tenant_rate_) + " requests/s; retry after a backoff");
+    }
     ticket = next_ticket_++;
-    request.enqueued = Clock::now();
+    request.enqueued = now;
     if (!request.tenant.empty()) ++tenant_usage_[request.tenant];
     lanes_[lane].push_back(ticket);
     ++stats_[lane].depth;
@@ -147,6 +155,28 @@ RequestQueue::Request RequestQueue::PopLockedAndCount(Clock::time_point now,
   }
   DPJL_CHECK(false, "PopLockedAndCount called with no pending request");
   return Request{};
+}
+
+bool RequestQueue::TakeTokenLocked(const std::string& tenant,
+                                   Clock::time_point now) {
+  if (tenant_rate_ <= 0 || tenant.empty()) return true;
+  const double burst = static_cast<double>(tenant_rate_);
+  auto [it, inserted] = tenant_buckets_.try_emplace(tenant);
+  TokenBucket& bucket = it->second;
+  if (inserted) {
+    // New tenants start with a full bucket: the first second of traffic is
+    // admitted unconditionally, then the refill rate takes over.
+    bucket.tokens = burst;
+    bucket.refilled = now;
+  } else {
+    const double elapsed =
+        std::chrono::duration<double>(now - bucket.refilled).count();
+    bucket.tokens = std::min(burst, bucket.tokens + elapsed * burst);
+    bucket.refilled = now;
+  }
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
 }
 
 void RequestQueue::NotifyIfIdleLocked() {

@@ -158,9 +158,15 @@ class RequestQueue {
   /// `capacity` below 1 is clamped to 1. `tenant_quota` bounds each
   /// non-empty tenant's queued + in-flight requests; 0 means unlimited.
   /// `starvation_age` of zero (the default) disables aged-lane promotion;
-  /// negative values are treated as zero.
+  /// negative values are treated as zero. `tenant_rate` bounds each
+  /// non-empty tenant's admission *rate* in requests per second via a
+  /// token bucket (burst capacity of one second's worth of tokens, i.e.
+  /// `tenant_rate` requests); 0 means unmetered. Quota bounds concurrency,
+  /// rate bounds throughput — a tenant can be refused by either
+  /// independently, both with `kResourceExhausted`.
   explicit RequestQueue(int64_t capacity, int64_t tenant_quota = 0,
-                        Clock::duration starvation_age = Clock::duration::zero());
+                        Clock::duration starvation_age = Clock::duration::zero(),
+                        int64_t tenant_rate = 0);
 
   /// Closes the queue and fails any still-unserved requests with
   /// `kFailedPrecondition` (normal shutdown drains via ServeOne first).
@@ -195,6 +201,7 @@ class RequestQueue {
 
   int64_t capacity() const { return capacity_; }
   int64_t tenant_quota() const { return tenant_quota_; }
+  int64_t tenant_rate() const { return tenant_rate_; }
 
   /// Number of queued (not yet popped) requests; advisory under concurrency.
   int64_t size() const;
@@ -220,9 +227,24 @@ class RequestQueue {
   /// hold `mutex_`.
   void NotifyIfIdleLocked();
 
+  /// One tenant's token bucket (rate limiting). Buckets are created full
+  /// (one second's burst) on the tenant's first submission and refill
+  /// continuously at `tenant_rate_` tokens per second, capped at the burst.
+  struct TokenBucket {
+    double tokens = 0;
+    Clock::time_point refilled;
+  };
+
+  /// Takes one token from `tenant`'s bucket, refilling it first. Returns
+  /// false (bucket empty — over rate) without side effects beyond the
+  /// refill. Caller must hold `mutex_`; no-op true when rate limiting is
+  /// off or `tenant` is empty.
+  bool TakeTokenLocked(const std::string& tenant, Clock::time_point now);
+
   const int64_t capacity_;
   const int64_t tenant_quota_;
   const Clock::duration starvation_age_;
+  const int64_t tenant_rate_;
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   mutable std::condition_variable idle_;
@@ -236,6 +258,7 @@ class RequestQueue {
   std::array<int64_t, kNumPriorityLanes> stale_ = {};
   std::array<LaneStats, kNumPriorityLanes> stats_;
   std::unordered_map<std::string, int64_t> tenant_usage_;
+  std::unordered_map<std::string, TokenBucket> tenant_buckets_;
   /// Requests popped whose handler has not yet returned.
   int64_t in_flight_ = 0;
   Ticket next_ticket_ = 1;

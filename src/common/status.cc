@@ -1,5 +1,7 @@
 #include "src/common/status.h"
 
+#include "src/common/result.h"
+
 namespace dpjl {
 
 std::string_view StatusCodeToString(StatusCode code) {
@@ -26,8 +28,30 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "resource_exhausted";
     case StatusCode::kCancelled:
       return "cancelled";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
+}
+
+Result<StatusCode> ParseStatusCode(std::string_view name) {
+  // The inverse of StatusCodeToString over the full enum; iterating the
+  // dense value range keeps the two in lockstep without a second table.
+  for (int value = 0; value <= static_cast<int>(StatusCode::kUnavailable);
+       ++value) {
+    const StatusCode code = static_cast<StatusCode>(value);
+    if (StatusCodeToString(code) == name) return code;
+  }
+  return Status::InvalidArgument("unknown status code name '" +
+                                 std::string(name) + "'");
+}
+
+Result<StatusCode> StatusCodeFromInt(int value) {
+  if (value < 0 || value > static_cast<int>(StatusCode::kUnavailable)) {
+    return Status::DataLoss("status code " + std::to_string(value) +
+                            " is outside the known range");
+  }
+  return static_cast<StatusCode>(value);
 }
 
 std::string Status::ToString() const {

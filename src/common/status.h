@@ -39,10 +39,26 @@ enum class StatusCode : int {
   /// The operation was cancelled by its caller before it ran (e.g. an
   /// engine request cancelled while still queued).
   kCancelled = 10,
+  /// A remote peer could not be reached or stopped responding (connect
+  /// refused, timeout, connection reset). Transient by nature: the caller
+  /// may retry, typically against another replica.
+  kUnavailable = 11,
 };
 
 /// Returns the canonical lowercase name of `code` (e.g. "invalid_argument").
 std::string_view StatusCodeToString(StatusCode code);
+
+/// Parses a StatusCodeToString rendering (e.g. "unavailable") back into the
+/// enum; kInvalidArgument-statused failure for an unknown name.
+class Status;
+template <typename T>
+class Result;
+Result<StatusCode> ParseStatusCode(std::string_view name);
+
+/// Validates an integer read from an untrusted source (a wire frame, a
+/// file) as a StatusCode. The enum's integer values are frozen — they are
+/// a serialization contract, never renumbered.
+Result<StatusCode> StatusCodeFromInt(int value);
 
 /// Value type describing the outcome of an operation.
 ///
@@ -95,6 +111,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -135,7 +135,8 @@ Result<EngineOptions> EngineOptions::Parse(
           "k-override",     "s-override",    "noise",
           "placement",      "threads",       "shards",
           "serving-threads", "queue-capacity", "tenant-quota",
-          "deadline-ms",    "starvation-age-ms", "batch-grain"};
+          "tenant-rate",    "deadline-ms",     "starvation-age-ms",
+          "batch-grain"};
   for (const auto& entry : flags) {
     if (kRecognized->count(entry.first) == 0 &&
         std::find(passthrough.begin(), passthrough.end(), entry.first) ==
@@ -209,6 +210,10 @@ Result<EngineOptions> EngineOptions::Parse(
     DPJL_ASSIGN_OR_RETURN(options.tenant_quota,
                           ParseIntFlag("tenant-quota", *raw, 0, 1 << 20));
   }
+  if (const std::string* raw = find("tenant-rate")) {
+    DPJL_ASSIGN_OR_RETURN(options.tenant_rate,
+                          ParseIntFlag("tenant-rate", *raw, 0, 1 << 20));
+  }
   if (const std::string* raw = find("deadline-ms")) {
     DPJL_ASSIGN_OR_RETURN(
         options.default_deadline_ms,
@@ -244,6 +249,7 @@ std::string EngineOptions::ToString() const {
       << " --shards=" << num_shards << " --serving-threads=" << serving_threads
       << " --queue-capacity=" << queue_capacity
       << " --tenant-quota=" << tenant_quota
+      << " --tenant-rate=" << tenant_rate
       << " --deadline-ms=" << default_deadline_ms
       << " --starvation-age-ms=" << starvation_age_ms
       << " --batch-grain=" << batch_grain;
@@ -267,6 +273,10 @@ Status EngineOptions::Validate() const {
   if (tenant_quota < 0) {
     return Status::InvalidArgument(
         "tenant-quota must be non-negative (0 = unlimited)");
+  }
+  if (tenant_rate < 0 || tenant_rate > (int64_t{1} << 20)) {
+    return Status::InvalidArgument(
+        "tenant-rate must lie in [0, 2^20] requests/s (0 = unmetered)");
   }
   if (default_deadline_ms < 0) {
     return Status::InvalidArgument(
@@ -309,7 +319,8 @@ Engine::Engine(EngineOptions options, std::optional<PrivateSketcher> sketcher,
       index_(std::move(index)),
       queue_(std::make_shared<RequestQueue>(
           options_.queue_capacity, options_.tenant_quota,
-          std::chrono::milliseconds(options_.starvation_age_ms))) {
+          std::chrono::milliseconds(options_.starvation_age_ms),
+          options_.tenant_rate)) {
   const int threads =
       options_.threads == 0 ? ThreadPool::DefaultThreadCount() : options_.threads;
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
@@ -430,15 +441,24 @@ std::string Engine::SerializeIndex() const {
 }
 
 Result<std::vector<SketchIndex::Neighbor>> Engine::NearestNeighborsLocked(
-    const PrivateSketch& query, int64_t top_n, ThreadPool* pool) const {
+    const PrivateSketch& query, int64_t top_n, ThreadPool* pool,
+    const CancelToken& cancel) const {
+  if (cancel.Cancelled()) {
+    return Status::Cancelled("query cancelled before its partition fan-out");
+  }
   if (partitions_.empty()) return index_.NearestNeighbors(query, top_n, pool);
   // Scatter: the owned index and each partition produce their own top_n
   // (each scan pool-parallel across its shards in turn). The global top_n
   // is contained in the union of the per-partition top_n lists, so the
   // gather below — one deterministic (distance, id) sort plus a truncate —
-  // is byte-identical to scanning one merged index.
+  // is byte-identical to scanning one merged index. The cancel token is
+  // polled between partition scans: a cancelled caller stops paying for
+  // the rest of the fan-out instead of completing a result nobody reads.
   std::vector<SketchIndex::Neighbor> all;
   const auto scatter = [&](const SketchIndex& part) -> Status {
+    if (cancel.Cancelled()) {
+      return Status::Cancelled("query cancelled mid partition fan-out");
+    }
     auto partial = part.NearestNeighbors(query, top_n, pool);
     if (!partial.ok()) return partial.status();
     all.insert(all.end(), partial->begin(), partial->end());
@@ -456,10 +476,17 @@ Result<std::vector<SketchIndex::Neighbor>> Engine::NearestNeighborsLocked(
 }
 
 Result<std::vector<SketchIndex::Neighbor>> Engine::RangeQueryLocked(
-    const PrivateSketch& query, double radius_sq, ThreadPool* pool) const {
+    const PrivateSketch& query, double radius_sq, ThreadPool* pool,
+    const CancelToken& cancel) const {
+  if (cancel.Cancelled()) {
+    return Status::Cancelled("query cancelled before its partition fan-out");
+  }
   if (partitions_.empty()) return index_.RangeQuery(query, radius_sq, pool);
   std::vector<SketchIndex::Neighbor> all;
   const auto scatter = [&](const SketchIndex& part) -> Status {
+    if (cancel.Cancelled()) {
+      return Status::Cancelled("query cancelled mid partition fan-out");
+    }
     auto partial = part.RangeQuery(query, radius_sq, pool);
     if (!partial.ok()) return partial.status();
     all.insert(all.end(), partial->begin(), partial->end());
@@ -576,6 +603,12 @@ Result<double> Engine::SquaredDistance(const std::string& id_a,
   return EstimateSquaredDistance(*a, *b);
 }
 
+Result<PrivateSketch> Engine::GetSketch(const std::string& id) const {
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  if (const PrivateSketch* found = FindLocked(id)) return *found;
+  return Status::NotFound("unknown sketch id: " + id);
+}
+
 RequestQueue::Clock::time_point Engine::DeadlineFor(int64_t deadline_ms) const {
   const int64_t ms =
       deadline_ms == kDefaultDeadline ? options_.default_deadline_ms : deadline_ms;
@@ -608,7 +641,8 @@ EngineFuture<PrivateSketch> Engine::SubmitSketch(std::vector<double> x,
                                                  uint64_t noise_seed,
                                                  const RequestOptions& request) {
   return Submit<PrivateSketch>(
-      [this, x = std::move(x), noise_seed]() -> Result<PrivateSketch> {
+      [this, x = std::move(x),
+       noise_seed](const CancelToken&) -> Result<PrivateSketch> {
         if (!sketcher_.has_value()) {
           return Status::FailedPrecondition(
               "serving-only engine (built via FromIndex) cannot sketch");
@@ -627,8 +661,9 @@ EngineFuture<PrivateSketch> Engine::SubmitSketch(std::vector<double> x,
 EngineFuture<std::vector<SketchIndex::Neighbor>> Engine::SubmitQuery(
     PrivateSketch query, int64_t top_n, const RequestOptions& request) {
   return Submit<std::vector<SketchIndex::Neighbor>>(
-      [this, query = std::move(query), top_n]() {
-        return NearestNeighbors(query, top_n);
+      [this, query = std::move(query), top_n](const CancelToken& cancel) {
+        std::shared_lock<std::shared_mutex> lock(index_mutex_);
+        return NearestNeighborsLocked(query, top_n, pool_.get(), cancel);
       },
       request);
 }
@@ -638,17 +673,29 @@ EngineFuture<std::vector<SketchIndex::Neighbor>> Engine::SubmitQuery(
   return SubmitQuery(std::move(query), top_n, WithDeadline(deadline_ms));
 }
 
+EngineFuture<std::vector<SketchIndex::Neighbor>> Engine::SubmitRangeQuery(
+    PrivateSketch query, double radius_sq, const RequestOptions& request) {
+  return Submit<std::vector<SketchIndex::Neighbor>>(
+      [this, query = std::move(query), radius_sq](const CancelToken& cancel) {
+        std::shared_lock<std::shared_mutex> lock(index_mutex_);
+        return RangeQueryLocked(query, radius_sq, pool_.get(), cancel);
+      },
+      request);
+}
+
 EngineFuture<std::vector<std::vector<SketchIndex::Neighbor>>>
 Engine::SubmitQueryBatch(std::vector<PrivateSketch> queries, int64_t top_n,
                          const RequestOptions& request) {
   return Submit<std::vector<std::vector<SketchIndex::Neighbor>>>(
-      [this, queries = std::move(queries), top_n]()
+      [this, queries = std::move(queries), top_n](const CancelToken& cancel)
           -> Result<std::vector<std::vector<SketchIndex::Neighbor>>> {
         // One read-lock acquisition for the whole batch; probes fan across
         // the pool with the deterministic chunking. Each probe's shard
         // scan runs serially (no nested ParallelFor) — by the index's
         // determinism contract the result is byte-identical to the
-        // pool-parallel scan a lone SubmitQuery performs.
+        // pool-parallel scan a lone SubmitQuery performs. The cancel token
+        // is polled per probe, so cancelling a large batch stops its
+        // remaining probes, not just its queue admission.
         std::shared_lock<std::shared_mutex> lock(index_mutex_);
         const int64_t n = static_cast<int64_t>(queries.size());
         std::vector<std::vector<SketchIndex::Neighbor>> results(queries.size());
@@ -657,7 +704,7 @@ Engine::SubmitQueryBatch(std::vector<PrivateSketch> queries, int64_t top_n,
           for (int64_t i = begin; i < end; ++i) {
             const size_t slot = static_cast<size_t>(i);
             auto probe = NearestNeighborsLocked(queries[slot], top_n,
-                                                /*pool=*/nullptr);
+                                                /*pool=*/nullptr, cancel);
             if (!probe.ok()) {
               probe_status[slot] = probe.status();
               continue;
@@ -674,7 +721,7 @@ Engine::SubmitQueryBatch(std::vector<PrivateSketch> queries, int64_t top_n,
 EngineFuture<double> Engine::SubmitEstimate(std::string id_a, std::string id_b,
                                             const RequestOptions& request) {
   return Submit<double>(
-      [this, id_a = std::move(id_a), id_b = std::move(id_b)]() {
+      [this, id_a = std::move(id_a), id_b = std::move(id_b)](const CancelToken&) {
         return SquaredDistance(id_a, id_b);
       },
       request);
@@ -689,7 +736,7 @@ EngineFuture<double> Engine::SubmitEstimate(std::string id_a, std::string id_b,
 EngineFuture<bool> Engine::SubmitTask(std::function<Status()> task,
                                       const RequestOptions& request) {
   return Submit<bool>(
-      [task = std::move(task)]() -> Result<bool> {
+      [task = std::move(task)](const CancelToken&) -> Result<bool> {
         const Status status = task();
         if (!status.ok()) return status;
         return true;
@@ -700,6 +747,18 @@ EngineFuture<bool> Engine::SubmitTask(std::function<Status()> task,
 EngineFuture<bool> Engine::SubmitTask(std::function<Status()> task,
                                       int64_t deadline_ms) {
   return SubmitTask(std::move(task), WithDeadline(deadline_ms));
+}
+
+EngineFuture<bool> Engine::SubmitTask(
+    std::function<Status(const CancelToken&)> task,
+    const RequestOptions& request) {
+  return Submit<bool>(
+      [task = std::move(task)](const CancelToken& cancel) -> Result<bool> {
+        const Status status = task(cancel);
+        if (!status.ok()) return status;
+        return true;
+      },
+      request);
 }
 
 EngineStats Engine::Stats() const {

@@ -1,6 +1,7 @@
 #ifndef DPJL_CORE_ENGINE_H_
 #define DPJL_CORE_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -57,6 +58,14 @@ struct EngineOptions {
   /// RequestOptions::tenant.
   int64_t tenant_quota = 0;
 
+  /// Per-tenant admission *rate* limit in requests per second, enforced by
+  /// a token bucket with a one-second burst; over-rate submissions are
+  /// refused with kResourceExhausted. 0 means unmetered. Applies only to
+  /// requests submitted with a non-empty RequestOptions::tenant. The quota
+  /// above bounds concurrency; this bounds throughput — the two are
+  /// independent.
+  int64_t tenant_rate = 0;
+
   /// Default per-request deadline in milliseconds for Submit* calls that
   /// do not pass their own; 0 means no deadline.
   int64_t default_deadline_ms = 0;
@@ -76,8 +85,8 @@ struct EngineOptions {
   /// Parses the recognized keys out of a `--key value` flag map (the form
   /// dpjl_tool already builds): epsilon, delta, alpha, beta, seed,
   /// transform, k-override, s-override, noise, placement, threads, shards,
-  /// serving-threads, queue-capacity, tenant-quota, deadline-ms,
-  /// starvation-age-ms, batch-grain. A key
+  /// serving-threads, queue-capacity, tenant-quota, tenant-rate,
+  /// deadline-ms, starvation-age-ms, batch-grain. A key
   /// that is neither recognized nor listed in `passthrough` is an error
   /// (catching typos like --epsilno); callers that keep their own flags in
   /// the same map (e.g. dpjl_tool's --input) declare them via
@@ -96,6 +105,27 @@ struct EngineOptions {
   Status Validate() const;
 };
 
+/// Cooperative cancellation handle threaded through long-running engine
+/// computations. `Cancelled()` turning true is a request, not a guarantee:
+/// the computation polls it at its natural scatter-gather boundaries
+/// (between partition scans, between batched probes) and unwinds with
+/// `kCancelled` at the next one. A default-constructed token never
+/// cancels. Trivially copyable; the referenced flag must outlive the
+/// computation (the engine stores it in the future's shared state, which
+/// the in-flight request handler keeps alive).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(const std::atomic<bool>* flag) : flag_(flag) {}
+
+  bool Cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::atomic<bool>* flag_ = nullptr;
+};
+
 namespace internal {
 
 /// Shared slot an async request fulfills exactly once and its EngineFuture
@@ -105,6 +135,9 @@ struct FutureState {
   std::mutex mutex;
   std::condition_variable ready;
   std::optional<Result<T>> result;
+  /// Raised by EngineFuture::Cancel; observed through a CancelToken by the
+  /// in-flight computation.
+  std::atomic<bool> cancel_requested{false};
 
   void Set(Result<T> value) {
     {
@@ -149,10 +182,15 @@ class EngineFuture {
   /// `kCancelled` in O(1), the request never occupies a serving lane, and
   /// true is returned. Returns false when the request already left the
   /// queue (served, expired, refused at admission) or the engine is gone —
-  /// a cancel/serve race resolves to exactly one outcome. Safe from any
-  /// thread, and safe after the engine's destruction.
+  /// a cancel/serve race resolves to exactly one outcome. Even on false,
+  /// the cooperative cancellation flag is raised first, so a request that
+  /// is already mid-computation unwinds with `kCancelled` at its next
+  /// scatter-gather boundary instead of running to completion (see
+  /// CancelToken). Safe from any thread, and safe after the engine's
+  /// destruction.
   bool Cancel() {
     DPJL_CHECK(valid(), "EngineFuture is default-constructed");
+    state_->cancel_requested.store(true, std::memory_order_relaxed);
     if (ticket_ == RequestQueue::kNoTicket) return false;
     const std::shared_ptr<RequestQueue> queue = queue_.lock();
     return queue != nullptr && queue->Cancel(ticket_);
@@ -318,6 +356,14 @@ class Engine {
   Result<double> SquaredDistance(const std::string& id_a,
                                  const std::string& id_b) const;
 
+  /// Copy of the stored sketch for `id`, wherever it lives (owned index or
+  /// any attached partition); kNotFound if absent. The distributed tier's
+  /// point-lookup hook: a sketch fetched from one serving process can be
+  /// compared against a sketch fetched from another via
+  /// EstimateSquaredDistance, which is how the router answers
+  /// cross-shard distance queries.
+  Result<PrivateSketch> GetSketch(const std::string& id) const;
+
   // --- asynchronous API ---
   //
   // Each Submit* enqueues the request and returns immediately. Every
@@ -354,6 +400,13 @@ class Engine {
       PrivateSketch query, int64_t top_n,
       int64_t deadline_ms = kDefaultDeadline);
 
+  /// Async RangeQuery under the same lane/deadline/cancellation semantics
+  /// as SubmitQuery — the overload the wire server drains range RPCs
+  /// through.
+  EngineFuture<std::vector<SketchIndex::Neighbor>> SubmitRangeQuery(
+      PrivateSketch query, double radius_sq,
+      const RequestOptions& request = {});
+
   /// Many probes, one admission: the batch occupies a single queue slot
   /// (one quota unit, one queue hop) and, once popped, fans the probes
   /// across the thread pool with the same deterministic chunking every
@@ -378,6 +431,13 @@ class Engine {
   EngineFuture<bool> SubmitTask(std::function<Status()> task,
                                 int64_t deadline_ms = kDefaultDeadline);
 
+  /// Cancellation-aware SubmitTask: the task receives the future's
+  /// CancelToken and is expected to poll it, returning `kCancelled` when it
+  /// observes a raised flag. The deterministic lever the cancellation tests
+  /// use, and the shape for any long caller-supplied work.
+  EngineFuture<bool> SubmitTask(std::function<Status(const CancelToken&)> task,
+                                const RequestOptions& request);
+
   /// Observability snapshot: per-lane depth/served/expired/refused/
   /// cancelled counters, total deadline misses, per-tenant usage, index
   /// size. Cheap (one lock, no allocation proportional to traffic).
@@ -398,10 +458,14 @@ class Engine {
   /// Scatter-gather query cores. Callers hold the read side of
   /// `index_mutex_`; `pool` is the engine pool for direct calls and null
   /// for probes that already run on the pool (no nested parallelism).
+  /// `cancel` is polled between partition scans: a raised token unwinds
+  /// the remaining fan-out with kCancelled.
   Result<std::vector<SketchIndex::Neighbor>> NearestNeighborsLocked(
-      const PrivateSketch& query, int64_t top_n, ThreadPool* pool) const;
+      const PrivateSketch& query, int64_t top_n, ThreadPool* pool,
+      const CancelToken& cancel = CancelToken()) const;
   Result<std::vector<SketchIndex::Neighbor>> RangeQueryLocked(
-      const PrivateSketch& query, double radius_sq, ThreadPool* pool) const;
+      const PrivateSketch& query, double radius_sq, ThreadPool* pool,
+      const CancelToken& cancel = CancelToken()) const;
 
   /// Lookup across the owned index and every attached partition.
   const PrivateSketch* FindLocked(const std::string& id) const;
@@ -426,7 +490,7 @@ class Engine {
   void EnsureServing();
 
   template <typename T>
-  EngineFuture<T> Submit(std::function<Result<T>()> compute,
+  EngineFuture<T> Submit(std::function<Result<T>(const CancelToken&)> compute,
                          const RequestOptions& options) {
     EnsureServing();
     auto state = std::make_shared<internal::FutureState<T>>();
@@ -435,7 +499,10 @@ class Engine {
     request.priority = options.priority;
     request.tenant = options.tenant;
     request.handler = [state, compute = std::move(compute)](const Status& admitted) {
-      state->Set(admitted.ok() ? compute() : Result<T>(admitted));
+      // The token points into the shared state this handler keeps alive,
+      // so polling it from inside the compute is always safe.
+      state->Set(admitted.ok() ? compute(CancelToken(&state->cancel_requested))
+                               : Result<T>(admitted));
     };
     const Result<RequestQueue::Ticket> pushed =
         queue_->TryPush(std::move(request));

@@ -1,0 +1,201 @@
+#include "src/net/server.h"
+
+#include <utility>
+
+#include "src/core/sketch.h"
+
+namespace dpjl {
+namespace net {
+
+namespace {
+
+/// One error-frame payload per failure path: Dispatch never drops a
+/// request on the floor — malformed payloads, engine refusals and
+/// computation failures all travel back as a typed Status.
+std::pair<MessageType, std::string> ErrorFrame(const Status& status) {
+  return {MessageType::kErrorResponse, EncodeErrorStatus(status)};
+}
+
+}  // namespace
+
+Server::Server(Engine* engine, std::string host)
+    : engine_(engine), host_(std::move(host)) {}
+
+Result<std::unique_ptr<Server>> Server::Start(Engine* engine,
+                                              const ServerOptions& options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("Server::Start requires an engine");
+  }
+  std::unique_ptr<Server> server(new Server(engine, options.host));
+  DPJL_ASSIGN_OR_RETURN(
+      server->listener_,
+      ListenOn(options.host, options.port, &server->port_));
+  server->acceptor_ = std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Shutdown before close: wakes the thread blocked in accept() / recv()
+    // immediately, where a bare close can leave it blocked.
+    listener_.ShutdownBoth();
+    listener_.Close();
+    for (const std::unique_ptr<Socket>& connection : connections_) {
+      connection->ShutdownBoth();
+    }
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  // The accept loop is down, so readers_ can no longer grow.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    readers.swap(readers_);
+  }
+  for (std::thread& reader : readers) {
+    if (reader.joinable()) reader.join();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  connections_.clear();
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    Result<Socket> accepted = AcceptConnection(listener_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || !accepted.ok()) return;
+    connections_.push_back(std::make_unique<Socket>(std::move(*accepted)));
+    Socket* connection = connections_.back().get();
+    readers_.emplace_back(
+        [this, connection] { ServeConnection(connection); });
+  }
+}
+
+void Server::ServeConnection(Socket* connection) {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+    }
+    // Only this thread reads/writes the socket; Stop only calls
+    // ShutdownBoth on it (safe concurrently with a blocked recv).
+    Result<Frame> received = RecvFrame(*connection);
+    if (!received.ok()) {
+      if (received.status().code() == StatusCode::kUnavailable) {
+        return;  // peer hung up (or Stop shut us down) — normal end
+      }
+      // Malformed bytes: report once, then drop the connection — after a
+      // framing error the stream position is unrecoverable.
+      auto [type, payload] = ErrorFrame(received.status());
+      FrameHeader header;
+      header.type = type;
+      (void)SendFrame(*connection, header, std::move(payload));
+      connection->ShutdownBoth();
+      return;
+    }
+    auto [type, payload] = Dispatch(*received);
+    FrameHeader header;
+    header.type = type;
+    if (!SendFrame(*connection, header, std::move(payload)).ok()) {
+      return;
+    }
+  }
+}
+
+std::pair<MessageType, std::string> Server::Dispatch(const Frame& frame) {
+  const RequestOptions request = frame.header.ToRequestOptions();
+  switch (frame.header.type) {
+    case MessageType::kNearestNeighborsRequest: {
+      Result<NearestNeighborsRequest> req =
+          DecodeNearestNeighborsRequest(frame.payload);
+      if (!req.ok()) return ErrorFrame(req.status());
+      Result<PrivateSketch> sketch = PrivateSketch::Deserialize(req->sketch);
+      if (!sketch.ok()) return ErrorFrame(sketch.status());
+      Result<std::vector<SketchIndex::Neighbor>> neighbors =
+          engine_->SubmitQuery(std::move(*sketch), req->top_n, request).Get();
+      if (!neighbors.ok()) return ErrorFrame(neighbors.status());
+      return {MessageType::kNeighborsResponse, EncodeNeighbors(*neighbors)};
+    }
+    case MessageType::kRangeQueryRequest: {
+      Result<RangeQueryRequest> req = DecodeRangeQueryRequest(frame.payload);
+      if (!req.ok()) return ErrorFrame(req.status());
+      Result<PrivateSketch> sketch = PrivateSketch::Deserialize(req->sketch);
+      if (!sketch.ok()) return ErrorFrame(sketch.status());
+      Result<std::vector<SketchIndex::Neighbor>> neighbors =
+          engine_->SubmitRangeQuery(std::move(*sketch), req->radius_sq, request)
+              .Get();
+      if (!neighbors.ok()) return ErrorFrame(neighbors.status());
+      return {MessageType::kNeighborsResponse, EncodeNeighbors(*neighbors)};
+    }
+    case MessageType::kSquaredDistanceRequest: {
+      Result<SquaredDistanceRequest> req =
+          DecodeSquaredDistanceRequest(frame.payload);
+      if (!req.ok()) return ErrorFrame(req.status());
+      Result<double> distance =
+          engine_->SubmitEstimate(req->id_a, req->id_b, request).Get();
+      if (!distance.ok()) return ErrorFrame(distance.status());
+      return {MessageType::kDistanceResponse, EncodeDistance(*distance)};
+    }
+    case MessageType::kBatchQueryRequest: {
+      Result<BatchQueryRequest> req = DecodeBatchQueryRequest(frame.payload);
+      if (!req.ok()) return ErrorFrame(req.status());
+      std::vector<PrivateSketch> probes;
+      probes.reserve(req->sketches.size());
+      for (const std::string& bytes : req->sketches) {
+        Result<PrivateSketch> sketch = PrivateSketch::Deserialize(bytes);
+        if (!sketch.ok()) return ErrorFrame(sketch.status());
+        probes.push_back(std::move(*sketch));
+      }
+      Result<std::vector<std::vector<SketchIndex::Neighbor>>> lists =
+          engine_->SubmitQueryBatch(std::move(probes), req->top_n, request)
+              .Get();
+      if (!lists.ok()) return ErrorFrame(lists.status());
+      return {MessageType::kBatchNeighborsResponse,
+              EncodeBatchNeighbors(*lists)};
+    }
+    case MessageType::kInsertRequest: {
+      Result<InsertRequest> req = DecodeInsertRequest(frame.payload);
+      if (!req.ok()) return ErrorFrame(req.status());
+      Result<PrivateSketch> sketch = PrivateSketch::Deserialize(req->sketch);
+      if (!sketch.ok()) return ErrorFrame(sketch.status());
+      // Through SubmitTask so inserts obey the same lane/deadline/tenant
+      // admission as every other remote request.
+      Result<bool> done =
+          engine_
+              ->SubmitTask(
+                  [this, id = std::move(req->id),
+                   sketch = std::move(*sketch)]() mutable {
+                    return engine_->Insert(std::move(id), std::move(sketch));
+                  },
+                  request)
+              .Get();
+      if (!done.ok()) return ErrorFrame(done.status());
+      return {MessageType::kAckResponse, std::string()};
+    }
+    case MessageType::kStatsRequest: {
+      // Stats is the monitoring path: served directly (cheap, lock-light)
+      // so it works even when the lanes are saturated.
+      return {MessageType::kStatsResponse, engine_->Stats().ToString()};
+    }
+    case MessageType::kGetSketchRequest: {
+      Result<std::string> id = DecodeIdPayload(frame.payload);
+      if (!id.ok()) return ErrorFrame(id.status());
+      Result<PrivateSketch> sketch = engine_->GetSketch(*id);
+      if (!sketch.ok()) return ErrorFrame(sketch.status());
+      return {MessageType::kSketchResponse, sketch->Serialize()};
+    }
+    case MessageType::kPingRequest:
+      return {MessageType::kPingResponse, std::string()};
+    default:
+      return ErrorFrame(Status::InvalidArgument(
+          "frame type '" + std::string(MessageTypeName(frame.header.type)) +
+          "' is not a request"));
+  }
+}
+
+}  // namespace net
+}  // namespace dpjl

@@ -39,6 +39,43 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
             "resource_exhausted");
   EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "cancelled");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "unavailable");
+}
+
+TEST(StatusTest, UnavailableFactory) {
+  const Status down = Status::Unavailable("replica 127.0.0.1:9001 is down");
+  EXPECT_FALSE(down.ok());
+  EXPECT_EQ(down.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(down.ToString(), "unavailable: replica 127.0.0.1:9001 is down");
+}
+
+TEST(StatusTest, ParseStatusCodeInvertsToStringOverTheFullEnum) {
+  for (int value = 0; value <= static_cast<int>(StatusCode::kUnavailable);
+       ++value) {
+    const StatusCode code = static_cast<StatusCode>(value);
+    const auto parsed = ParseStatusCode(StatusCodeToString(code));
+    ASSERT_TRUE(parsed.ok()) << StatusCodeToString(code);
+    EXPECT_EQ(*parsed, code);
+  }
+  for (const std::string bad : {"", "OK", "Unavailable", "unknown", "ok "}) {
+    const auto rejected = ParseStatusCode(bad);
+    ASSERT_FALSE(rejected.ok()) << "'" << bad << "' parsed";
+    EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(StatusTest, StatusCodeFromIntAcceptsOnlyTheKnownRange) {
+  // The wire protocol transports codes as integers; the frozen enum values
+  // are load-bearing on-wire identifiers.
+  EXPECT_EQ(*StatusCodeFromInt(0), StatusCode::kOk);
+  EXPECT_EQ(*StatusCodeFromInt(7), StatusCode::kDataLoss);
+  EXPECT_EQ(*StatusCodeFromInt(10), StatusCode::kCancelled);
+  EXPECT_EQ(*StatusCodeFromInt(11), StatusCode::kUnavailable);
+  for (const int bad : {-1, 12, 99}) {
+    const auto rejected = StatusCodeFromInt(bad);
+    ASSERT_FALSE(rejected.ok()) << bad;
+    EXPECT_EQ(rejected.status().code(), StatusCode::kDataLoss);
+  }
 }
 
 TEST(StatusTest, ServingCodeFactories) {

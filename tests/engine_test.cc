@@ -350,6 +350,67 @@ TEST(RequestQueueTest, TenantQuotaRefusesOnlyTheOverQuotaTenant) {
   EXPECT_TRUE(queue.GetStats().tenant_usage.empty());
 }
 
+TEST(RequestQueueTest, TenantRateRefusesBeyondTheBurstAndRefills) {
+  // rate 2/s means a burst bucket of 2 tokens, created full: two immediate
+  // admissions, then refusal until the bucket refills.
+  RequestQueue queue(64, /*tenant_quota=*/0, RequestQueue::Clock::duration::zero(),
+                     /*tenant_rate=*/2);
+  EXPECT_EQ(queue.tenant_rate(), 2);
+  const auto noop = [](const Status&) {};
+  const auto push = [&queue, &noop](const std::string& tenant) {
+    return queue.TryPush(QueueRequest(RequestQueue::kNoDeadline, noop,
+                                      Priority::kInteractive, tenant));
+  };
+  ASSERT_TRUE(push("metered").ok());
+  ASSERT_TRUE(push("metered").ok());
+  const auto refused = push("metered");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(refused.status().message().find("metered"), std::string::npos);
+  EXPECT_NE(refused.status().message().find("rate"), std::string::npos);
+
+  // Buckets are per tenant, and empty-tenant traffic is never metered.
+  ASSERT_TRUE(push("other").ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(push("").ok());
+
+  // Refill is continuous at the configured rate: ~0.6 s at 2/s earns at
+  // least one token back.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  EXPECT_TRUE(push("metered").ok());
+  EXPECT_EQ(queue.GetStats().lane(Priority::kInteractive).refused, 1);
+}
+
+TEST(RequestQueueTest, TenantRateIsIndependentOfTenantQuota) {
+  // Quota bounds concurrency (queued + in-flight, released on completion);
+  // rate bounds throughput (admissions per second, never released). A
+  // served-and-released request frees its quota slot but not its token.
+  RequestQueue queue(64, /*tenant_quota=*/1, RequestQueue::Clock::duration::zero(),
+                     /*tenant_rate=*/2);
+  const auto noop = [](const Status&) {};
+  const auto push = [&queue, &noop] {
+    return queue.TryPush(QueueRequest(RequestQueue::kNoDeadline, noop,
+                                      Priority::kInteractive, "alice"));
+  };
+  ASSERT_TRUE(push().ok());
+  // Second admission: under the rate burst (2), but over the quota (1).
+  const auto over_quota = push();
+  ASSERT_FALSE(over_quota.ok());
+  EXPECT_NE(over_quota.status().message().find("quota"), std::string::npos);
+
+  // Serving releases the quota slot, so the next push passes the quota
+  // check — and consumes the second (last) token.
+  ASSERT_TRUE(queue.ServeOne());
+  queue.WaitIdle();
+  ASSERT_TRUE(push().ok());
+  ASSERT_TRUE(queue.ServeOne());
+  queue.WaitIdle();
+
+  // Quota slot free again, but the bucket is empty: the rate refuses now.
+  const auto over_rate = push();
+  ASSERT_FALSE(over_rate.ok());
+  EXPECT_NE(over_rate.status().message().find("rate"), std::string::npos);
+}
+
 TEST(RequestQueueTest, CancelStormCompactsLaneAndQueueStaysServable) {
   // A cancel-heavy caller must not grow a lane without bound while other
   // lanes keep it from draining: stale tickets are compacted away once
@@ -430,8 +491,9 @@ TEST(EngineOptionsTest, ParseAppliesRecognizedKeysAndDeclaredPassthrough) {
       {"seed", "12345"},         {"transform", "fjlt"},
       {"threads", "0"},          {"shards", "32"},
       {"serving-threads", "3"},  {"queue-capacity", "17"},
-      {"tenant-quota", "9"},     {"deadline-ms", "250"},
-      {"batch-grain", "24"},     {"input", "tool-flag.csv"}};
+      {"tenant-quota", "9"},     {"tenant-rate", "50"},
+      {"deadline-ms", "250"},    {"batch-grain", "24"},
+      {"input", "tool-flag.csv"}};
   const auto options = EngineOptions::Parse(flags, /*passthrough=*/{"input"});
   ASSERT_TRUE(options.ok()) << options.status();
   EXPECT_DOUBLE_EQ(options->sketcher.epsilon, 4.5);
@@ -445,6 +507,7 @@ TEST(EngineOptionsTest, ParseAppliesRecognizedKeysAndDeclaredPassthrough) {
   EXPECT_EQ(options->serving_threads, 3);
   EXPECT_EQ(options->queue_capacity, 17);
   EXPECT_EQ(options->tenant_quota, 9);
+  EXPECT_EQ(options->tenant_rate, 50);
   EXPECT_EQ(options->default_deadline_ms, 250);
   EXPECT_EQ(options->batch_grain, 24);
 }
@@ -473,7 +536,9 @@ TEST(EngineOptionsTest, ParseRejectsMalformedOrOutOfDomainValues) {
       {{"shards", "0"}},           {{"shards", "1.5"}},
       {{"serving-threads", "0"}},  {{"queue-capacity", "0"}},
       {{"queue-capacity", "lots"}}, {{"tenant-quota", "-1"}},
-      {{"tenant-quota", "many"}},  {{"deadline-ms", "-5"}},
+      {{"tenant-quota", "many"}},  {{"tenant-rate", "-1"}},
+      {{"tenant-rate", "fast"}},   {{"tenant-rate", "1048577"}},
+      {{"deadline-ms", "-5"}},
       {{"transform", "bogus"}},    {{"seed", "-3"}},
       {{"k-override", "-1"}},      {{"noise", "cauchy"}},
       {{"placement", "sideways"}}, {{"batch-grain", "-1"}},
@@ -507,6 +572,7 @@ TEST(EngineOptionsTest, ToStringParseRoundTrip) {
   options.serving_threads = 4;
   options.queue_capacity = 33;
   options.tenant_quota = 3;
+  options.tenant_rate = 6;
   options.default_deadline_ms = 1500;
   options.starvation_age_ms = 250;
   options.batch_grain = 40;
@@ -538,6 +604,7 @@ TEST(EngineOptionsTest, ToStringParseRoundTrip) {
   EXPECT_EQ(parsed->serving_threads, options.serving_threads);
   EXPECT_EQ(parsed->queue_capacity, options.queue_capacity);
   EXPECT_EQ(parsed->tenant_quota, options.tenant_quota);
+  EXPECT_EQ(parsed->tenant_rate, options.tenant_rate);
   EXPECT_EQ(parsed->default_deadline_ms, options.default_deadline_ms);
   EXPECT_EQ(parsed->starvation_age_ms, options.starvation_age_ms);
   EXPECT_EQ(parsed->batch_grain, options.batch_grain);
@@ -968,6 +1035,76 @@ TEST(EngineTest, CancelQueuedRequestResolvesCancelledWithoutOccupyingALane) {
   auto served = patient;
   EXPECT_FALSE(served.Cancel());
   EXPECT_EQ(engine->Stats().lane(Priority::kInteractive).cancelled, 1);
+}
+
+TEST(EngineTest, CancelTokenObservesItsFlagAndDefaultNeverCancels) {
+  EXPECT_FALSE(CancelToken().Cancelled());
+  std::atomic<bool> flag{false};
+  CancelToken token(&flag);
+  EXPECT_FALSE(token.Cancelled());
+  flag.store(true);
+  EXPECT_TRUE(token.Cancelled());
+  // Copies observe the same flag.
+  CancelToken copy = token;
+  EXPECT_TRUE(copy.Cancelled());
+}
+
+TEST(EngineTest, CancelUnwindsAnInFlightCooperativeTask) {
+  // Deterministic in-flight cancellation: the task holds a serving lane,
+  // reports it started, then polls its CancelToken — exactly the contract
+  // long scatter-gather queries honor between partition scans.
+  EngineOptions options = BaseOptions();
+  options.serving_threads = 1;
+  std::unique_ptr<Engine> engine = MakeEngineOrDie(64, options);
+
+  std::promise<void> started;
+  auto future = engine->SubmitTask(
+      [&started](const CancelToken& token) {
+        started.set_value();
+        while (!token.Cancelled()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return Status::Cancelled("task observed a raised cancel token");
+      },
+      RequestOptions{});
+  started.get_future().wait();
+
+  // The request already left the queue, so Cancel() returns false — but it
+  // raises the cooperative flag first, and the task unwinds with
+  // kCancelled instead of running forever.
+  EXPECT_FALSE(future.Cancel());
+  const auto result = future.Get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  engine->WaitIdle();
+}
+
+TEST(EngineTest, CancelRacingAnInFlightQueryNeverCorruptsTheResult) {
+  // Cancelling a query that may already be mid-scan resolves to exactly
+  // one of two outcomes: the complete correct answer, or kCancelled —
+  // never a partial merge.
+  const DirectReference ref = MakeReference(17);
+  std::unique_ptr<Engine> engine = MakeEngineOrDie(64, BaseOptions());
+  for (size_t i = 0; i < ref.xs.size(); ++i) {
+    ASSERT_TRUE(engine
+                    ->InsertVector("doc-" + std::to_string(i), ref.xs[i],
+                                   500 + static_cast<uint64_t>(i))
+                    .ok());
+  }
+  const auto expected = engine->NearestNeighbors(ref.probe, 5).value();
+
+  for (int round = 0; round < 20; ++round) {
+    auto future = engine->SubmitQuery(ref.probe, 5);
+    future.Cancel();
+    const auto result = future.Get();
+    if (result.ok()) {
+      ExpectSameNeighbors(*result, expected);
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+          << result.status();
+    }
+  }
+  engine->WaitIdle();
 }
 
 TEST(EngineTest, SubmitQueryBatchByteIdenticalToIndividualSubmits) {

@@ -15,6 +15,13 @@
 //   index merge-shards    All-or-nothing merge of partition snapshots back
 //                 into one index snapshot, verified against the manifest.
 //   index inspect Print a snapshot envelope's or manifest's fields.
+//   serve         Serve an index (or partition set) over the wire protocol
+//                 on a TCP port; peers connect with `client` or `route`.
+//   client        Wire-protocol client: query / range / batch / estimate /
+//                 insert / get / stats / ping against one serving process.
+//   route         Manifest-routed fan-out across serving processes with
+//                 replica failover; output is byte-identical to querying
+//                 the merged index in-process.
 //   selftest      End-to-end sketch->estimate round trip in a temp
 //                 directory (used by ctest).
 //
@@ -45,6 +52,9 @@
 #include "src/common/timer.h"
 #include "src/core/engine.h"
 #include "src/core/estimators.h"
+#include "src/net/client.h"
+#include "src/net/router.h"
+#include "src/net/server.h"
 
 namespace dpjl {
 namespace {
@@ -80,6 +90,31 @@ void Usage(std::ostream& out) {
          "            byte-identical to the index the shards were exported\n"
          "            from)\n"
          "  dpjl_tool index inspect {--index FILE | --manifest FILE}\n"
+         "  dpjl_tool serve {--index FILE | --partitions A.part,...}\n"
+         "            [--host H] [--port P] [--serve-seconds S]\n"
+         "            [engine flags]  (port 0 = ephemeral; prints\n"
+         "            'listening<TAB>HOST:PORT' once ready, then serves\n"
+         "            until killed or S seconds elapse)\n"
+         "  dpjl_tool client query --connect HOST:PORT --sketch FILE\n"
+         "            [--top N] [request flags]\n"
+         "  dpjl_tool client range --connect HOST:PORT --sketch FILE\n"
+         "            --radius-sq R [request flags]\n"
+         "  dpjl_tool client batch --connect HOST:PORT --sketches A,B,...\n"
+         "            [--top N] [request flags]  (each line is\n"
+         "            'probe-index<TAB>id<TAB>distance')\n"
+         "  dpjl_tool client estimate --connect HOST:PORT --id-a X --id-b Y\n"
+         "            [request flags]\n"
+         "  dpjl_tool client insert --connect HOST:PORT --id NAME\n"
+         "            --sketch FILE [request flags]\n"
+         "  dpjl_tool client stats --connect HOST:PORT\n"
+         "  dpjl_tool client ping --connect HOST:PORT\n"
+         "  dpjl_tool route {query|range|batch|estimate|stats} --manifest F\n"
+         "            --endpoints 'G0R0|G0R1,G1R0,...' [query flags as for\n"
+         "            client]  (one ','-separated group per manifest\n"
+         "            partition, replicas '|'-separated within a group;\n"
+         "            '-' marks an empty group. Fan-out results are\n"
+         "            byte-identical to the merged index; a dead replica\n"
+         "            fails over to the next one in its group)\n"
          "  dpjl_tool selftest\n"
          "engine flags (one shared config path, see EngineOptions::Parse):\n"
          "  sketcher: --epsilon E --delta D --alpha A --beta B --seed S\n"
@@ -90,8 +125,11 @@ void Usage(std::ostream& out) {
          "  serving:  --threads T (0 = all cores) --shards N\n"
          "            --serving-threads T --queue-capacity N\n"
          "            --tenant-quota N (0 = unlimited) --deadline-ms MS\n"
+         "            --tenant-rate N (admitted requests/s per tenant,\n"
+         "            token bucket, 0 = unmetered)\n"
          "request flags (per-submission scheduling, see RequestOptions):\n"
          "  --priority interactive|batch|best-effort --tenant NAME\n"
+         "  --deadline-ms MS (client/route: also bounds the socket wait)\n"
          "observability: --stats-interval-ms N on query/sketch-batch dumps\n"
          "  periodic EngineStats deltas (rates) to stderr while running\n"
          "flags accept both '--key value' and '--key=value'\n"
@@ -233,7 +271,7 @@ Result<EngineOptions> OptionsFromFlags(
       "base-noise-seed", "a",   "b",             "sketch",
       "index",      "id",       "top",           "priority",
       "tenant",     "partitions", "manifest",    "parts",
-      "stats-interval-ms"};
+      "stats-interval-ms", "host", "port",       "serve-seconds"};
   flags.emplace("epsilon", "1.0");
   flags.emplace("alpha", "0.2");
   flags.emplace("beta", "0.05");
@@ -570,22 +608,65 @@ int CmdIndexAdd(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int CmdIndexQuery(const std::map<std::string, std::string>& flags) {
+// Serving-only engine over released artifacts — the corpus-loading path
+// shared by `query` and `serve`: either the deserialized monolithic
+// --index snapshot, or an empty index with every --partitions snapshot
+// attached (byte-identical results either way, by the engine's
+// scatter-gather determinism contract).
+Result<std::unique_ptr<Engine>> ServingEngineFromFlags(
+    const std::map<std::string, std::string>& flags,
+    const EngineOptions& options) {
   const std::string index_path = FlagOr(flags, "index", "");
   const std::string partitions_csv = FlagOr(flags, "partitions", "");
+  if (index_path.empty() == partitions_csv.empty()) {
+    return Status::InvalidArgument(
+        "exactly one corpus source: --index FILE or --partitions A,B,...");
+  }
+  if (!index_path.empty()) {
+    DPJL_ASSIGN_OR_RETURN(const std::string bytes, ReadFile(index_path));
+    DPJL_ASSIGN_OR_RETURN(SketchIndex index, SketchIndex::Deserialize(bytes));
+    return Engine::FromIndex(std::move(index), options);
+  }
+  DPJL_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
+                        Engine::FromIndex(SketchIndex(), options));
+  for (const std::string& path : SplitCsvList(partitions_csv)) {
+    DPJL_ASSIGN_OR_RETURN(const std::string bytes, ReadFile(path));
+    auto part = SketchIndex::Deserialize(bytes);
+    if (!part.ok()) {
+      return Status(part.status().code(),
+                    path + ": " + part.status().message());
+    }
+    if (auto attached = engine->AttachPartition(std::move(part).value());
+        !attached.ok()) {
+      return Status(attached.status().code(),
+                    path + ": " + attached.status().message());
+    }
+  }
+  return engine;
+}
+
+// Deserialized sketch file (the query/probe inputs of the networked
+// subcommands).
+Result<PrivateSketch> LoadSketch(const std::string& path) {
+  DPJL_ASSIGN_OR_RETURN(const std::string bytes, ReadFile(path));
+  return PrivateSketch::Deserialize(bytes);
+}
+
+void PrintNeighbors(const std::vector<SketchIndex::Neighbor>& neighbors) {
+  for (const auto& n : neighbors) {
+    std::printf("%s\t%.6f\n", n.id.c_str(), n.squared_distance);
+  }
+}
+
+int CmdIndexQuery(const std::map<std::string, std::string>& flags) {
   const std::string sketch_path = FlagOr(flags, "sketch", "");
-  // Exactly one corpus source: a monolithic index file, or a list of
-  // partition snapshots to scatter-gather across.
-  if (index_path.empty() == partitions_csv.empty() || sketch_path.empty()) {
+  if (sketch_path.empty() ||
+      FlagOr(flags, "index", "").empty() ==
+          FlagOr(flags, "partitions", "").empty()) {
     Usage(std::cerr);
     return 2;
   }
-  auto sketch_bytes = ReadFile(sketch_path);
-  if (!sketch_bytes.ok()) {
-    std::cerr << sketch_bytes.status() << "\n";
-    return 1;
-  }
-  auto query = PrivateSketch::Deserialize(*sketch_bytes);
+  auto query = LoadSketch(sketch_path);
   if (!query.ok()) {
     std::cerr << query.status() << "\n";
     return 1;
@@ -601,48 +682,9 @@ int CmdIndexQuery(const std::map<std::string, std::string>& flags) {
     std::cerr << request.status() << "\n";
     return 1;
   }
-  // Serving-only engine over released artifacts: either the deserialized
-  // monolithic index, or an empty index with every partition snapshot
-  // attached (byte-identical results either way, by the engine's
-  // scatter-gather determinism contract). The query goes through the
-  // submission path so the stats dump below reflects it.
-  Result<std::unique_ptr<Engine>> engine =
-      Status::Internal("engine not built");
-  if (!index_path.empty()) {
-    auto index_bytes = ReadFile(index_path);
-    if (!index_bytes.ok()) {
-      std::cerr << index_bytes.status() << "\n";
-      return 1;
-    }
-    auto index = SketchIndex::Deserialize(*index_bytes);
-    if (!index.ok()) {
-      std::cerr << index.status() << "\n";
-      return 1;
-    }
-    engine = Engine::FromIndex(std::move(index).value(), *options);
-  } else {
-    engine = Engine::FromIndex(SketchIndex(), *options);
-    if (engine.ok()) {
-      for (const std::string& path : SplitCsvList(partitions_csv)) {
-        auto part_bytes = ReadFile(path);
-        if (!part_bytes.ok()) {
-          std::cerr << part_bytes.status() << "\n";
-          return 1;
-        }
-        auto part = SketchIndex::Deserialize(*part_bytes);
-        if (!part.ok()) {
-          std::cerr << path << ": " << part.status() << "\n";
-          return 1;
-        }
-        if (auto attached =
-                (*engine)->AttachPartition(std::move(part).value());
-            !attached.ok()) {
-          std::cerr << path << ": " << attached.status() << "\n";
-          return 1;
-        }
-      }
-    }
-  }
+  // The query goes through the submission path so the stats dump below
+  // reflects it.
+  auto engine = ServingEngineFromFlags(flags, *options);
   if (!engine.ok()) {
     std::cerr << engine.status() << "\n";
     return 1;
@@ -655,9 +697,7 @@ int CmdIndexQuery(const std::map<std::string, std::string>& flags) {
     std::cerr << neighbors.status() << "\n";
     return 1;
   }
-  for (const auto& n : *neighbors) {
-    std::printf("%s\t%.6f\n", n.id.c_str(), n.squared_distance);
-  }
+  PrintNeighbors(*neighbors);
   DumpEngineStats(**engine, std::cerr);
   return 0;
 }
@@ -813,6 +853,322 @@ int CmdIndexInspect(const std::map<std::string, std::string>& flags) {
                     CompatibilityFingerprint(metadata)));
   }
   return 0;
+}
+
+// Per-call request options for the networked subcommands: the shared
+// priority/tenant flags plus --deadline-ms, which for a remote call also
+// bounds the client's socket wait (one budget, both sides of the wire).
+Result<RequestOptions> ClientRequestFromFlags(
+    const std::map<std::string, std::string>& flags,
+    Priority default_priority) {
+  DPJL_ASSIGN_OR_RETURN(RequestOptions request,
+                        RequestOptionsFromFlags(flags, default_priority));
+  if (const auto it = flags.find("deadline-ms"); it != flags.end()) {
+    request.deadline_ms = std::atoll(it->second.c_str());
+  }
+  return request;
+}
+
+// --endpoints grammar: one group per manifest partition, ','-separated;
+// replicas within a group '|'-separated; '-' (or an empty segment) marks
+// an empty group for an empty partition.
+Result<std::vector<std::vector<net::Endpoint>>> ParseEndpointGroups(
+    const std::string& text) {
+  std::vector<std::vector<net::Endpoint>> groups;
+  std::istringstream in(text);
+  std::string group_text;
+  while (std::getline(in, group_text, ',')) {
+    std::vector<net::Endpoint> group;
+    if (group_text != "-" && !group_text.empty()) {
+      std::istringstream replicas(group_text);
+      std::string replica_text;
+      while (std::getline(replicas, replica_text, '|')) {
+        if (replica_text.empty()) continue;
+        DPJL_ASSIGN_OR_RETURN(net::Endpoint endpoint,
+                              net::ParseEndpoint(replica_text));
+        group.push_back(std::move(endpoint));
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  auto options = OptionsFromFlags(flags);
+  if (!options.ok()) {
+    std::cerr << options.status() << "\n";
+    return 1;
+  }
+  auto engine = ServingEngineFromFlags(flags, *options);
+  if (!engine.ok()) {
+    std::cerr << engine.status() << "\n";
+    return 1;
+  }
+  net::ServerOptions server_options;
+  server_options.host = FlagOr(flags, "host", "127.0.0.1");
+  server_options.port = std::atoi(FlagOr(flags, "port", "0").c_str());
+  auto server = net::Server::Start(engine->get(), server_options);
+  if (!server.ok()) {
+    std::cerr << server.status() << "\n";
+    return 1;
+  }
+  // The readiness line scripts and routers wait for; flushed so a piped
+  // reader sees it immediately.
+  std::printf("listening\t%s:%d\n", server_options.host.c_str(),
+              (*server)->port());
+  std::fflush(stdout);
+  std::cerr << "serving " << (*engine)->index_size() << " sketches on "
+            << server_options.host << ":" << (*server)->port() << "\n";
+  const int64_t serve_seconds =
+      std::atoll(FlagOr(flags, "serve-seconds", "0").c_str());
+  if (serve_seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+    (*server)->Stop();
+    DumpEngineStats(**engine, std::cerr);
+    return 0;
+  }
+  // Serve until killed (the normal operational shape: a supervisor or the
+  // test script owns the process lifetime).
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+}
+
+int CmdClient(const std::string& subcommand,
+              const std::map<std::string, std::string>& flags) {
+  const std::string connect = FlagOr(flags, "connect", "");
+  if (connect.empty()) {
+    Usage(std::cerr);
+    return 2;
+  }
+  auto endpoint = net::ParseEndpoint(connect);
+  if (!endpoint.ok()) {
+    std::cerr << endpoint.status() << "\n";
+    return 1;
+  }
+  auto request = ClientRequestFromFlags(flags, Priority::kInteractive);
+  if (!request.ok()) {
+    std::cerr << request.status() << "\n";
+    return 1;
+  }
+  net::Client client(endpoint->host, endpoint->port);
+  if (subcommand == "query" || subcommand == "range") {
+    auto sketch = LoadSketch(FlagOr(flags, "sketch", ""));
+    if (!sketch.ok()) {
+      std::cerr << sketch.status() << "\n";
+      return 1;
+    }
+    const auto neighbors =
+        subcommand == "query"
+            ? client.NearestNeighbors(
+                  *sketch, std::atoll(FlagOr(flags, "top", "5").c_str()),
+                  *request)
+            : client.RangeQuery(
+                  *sketch,
+                  std::atof(FlagOr(flags, "radius-sq", "0").c_str()),
+                  *request);
+    if (!neighbors.ok()) {
+      std::cerr << neighbors.status() << "\n";
+      return 1;
+    }
+    PrintNeighbors(*neighbors);
+    return 0;
+  }
+  if (subcommand == "batch") {
+    std::vector<PrivateSketch> probes;
+    for (const std::string& path :
+         SplitCsvList(FlagOr(flags, "sketches", ""))) {
+      auto sketch = LoadSketch(path);
+      if (!sketch.ok()) {
+        std::cerr << path << ": " << sketch.status() << "\n";
+        return 1;
+      }
+      probes.push_back(std::move(*sketch));
+    }
+    if (probes.empty()) {
+      Usage(std::cerr);
+      return 2;
+    }
+    const auto lists = client.BatchQuery(
+        probes, std::atoll(FlagOr(flags, "top", "5").c_str()), *request);
+    if (!lists.ok()) {
+      std::cerr << lists.status() << "\n";
+      return 1;
+    }
+    for (size_t probe = 0; probe < lists->size(); ++probe) {
+      for (const auto& n : (*lists)[probe]) {
+        std::printf("%zu\t%s\t%.6f\n", probe, n.id.c_str(),
+                    n.squared_distance);
+      }
+    }
+    return 0;
+  }
+  if (subcommand == "estimate") {
+    const std::string id_a = FlagOr(flags, "id-a", "");
+    const std::string id_b = FlagOr(flags, "id-b", "");
+    if (id_a.empty() || id_b.empty()) {
+      Usage(std::cerr);
+      return 2;
+    }
+    const auto distance = client.SquaredDistance(id_a, id_b, *request);
+    if (!distance.ok()) {
+      std::cerr << distance.status() << "\n";
+      return 1;
+    }
+    std::printf("squared_distance_estimate\t%.6f\n", *distance);
+    return 0;
+  }
+  if (subcommand == "insert") {
+    const std::string id = FlagOr(flags, "id", "");
+    auto sketch = LoadSketch(FlagOr(flags, "sketch", ""));
+    if (id.empty()) {
+      Usage(std::cerr);
+      return 2;
+    }
+    if (!sketch.ok()) {
+      std::cerr << sketch.status() << "\n";
+      return 1;
+    }
+    if (const Status inserted = client.Insert(id, *sketch, *request);
+        !inserted.ok()) {
+      std::cerr << inserted << "\n";
+      return 1;
+    }
+    std::cout << "inserted " << id << "\n";
+    return 0;
+  }
+  if (subcommand == "stats") {
+    const auto stats = client.Stats(*request);
+    if (!stats.ok()) {
+      std::cerr << stats.status() << "\n";
+      return 1;
+    }
+    std::cout << *stats;
+    return 0;
+  }
+  if (subcommand == "ping") {
+    if (const Status alive = client.Ping(*request); !alive.ok()) {
+      std::cerr << alive << "\n";
+      return 1;
+    }
+    std::cout << "pong\n";
+    return 0;
+  }
+  Usage(std::cerr);
+  return 2;
+}
+
+int CmdRoute(const std::string& subcommand,
+             const std::map<std::string, std::string>& flags) {
+  const std::string manifest_path = FlagOr(flags, "manifest", "");
+  const std::string endpoints = FlagOr(flags, "endpoints", "");
+  if (manifest_path.empty() || endpoints.empty()) {
+    Usage(std::cerr);
+    return 2;
+  }
+  auto manifest_bytes = ReadFile(manifest_path);
+  if (!manifest_bytes.ok()) {
+    std::cerr << manifest_bytes.status() << "\n";
+    return 1;
+  }
+  auto manifest = ShardManifest::Deserialize(*manifest_bytes);
+  if (!manifest.ok()) {
+    std::cerr << manifest.status() << "\n";
+    return 1;
+  }
+  auto groups = ParseEndpointGroups(endpoints);
+  if (!groups.ok()) {
+    std::cerr << groups.status() << "\n";
+    return 1;
+  }
+  auto router = net::Router::Create(std::move(*manifest), std::move(*groups));
+  if (!router.ok()) {
+    std::cerr << router.status() << "\n";
+    return 1;
+  }
+  auto request = ClientRequestFromFlags(flags, Priority::kInteractive);
+  if (!request.ok()) {
+    std::cerr << request.status() << "\n";
+    return 1;
+  }
+  if (subcommand == "query" || subcommand == "range") {
+    auto sketch = LoadSketch(FlagOr(flags, "sketch", ""));
+    if (!sketch.ok()) {
+      std::cerr << sketch.status() << "\n";
+      return 1;
+    }
+    const auto neighbors =
+        subcommand == "query"
+            ? (*router)->NearestNeighbors(
+                  *sketch, std::atoll(FlagOr(flags, "top", "5").c_str()),
+                  *request)
+            : (*router)->RangeQuery(
+                  *sketch,
+                  std::atof(FlagOr(flags, "radius-sq", "0").c_str()),
+                  *request);
+    if (!neighbors.ok()) {
+      std::cerr << neighbors.status() << "\n";
+      return 1;
+    }
+    PrintNeighbors(*neighbors);
+    return 0;
+  }
+  if (subcommand == "batch") {
+    std::vector<PrivateSketch> probes;
+    for (const std::string& path :
+         SplitCsvList(FlagOr(flags, "sketches", ""))) {
+      auto sketch = LoadSketch(path);
+      if (!sketch.ok()) {
+        std::cerr << path << ": " << sketch.status() << "\n";
+        return 1;
+      }
+      probes.push_back(std::move(*sketch));
+    }
+    if (probes.empty()) {
+      Usage(std::cerr);
+      return 2;
+    }
+    const auto lists = (*router)->BatchQuery(
+        probes, std::atoll(FlagOr(flags, "top", "5").c_str()), *request);
+    if (!lists.ok()) {
+      std::cerr << lists.status() << "\n";
+      return 1;
+    }
+    for (size_t probe = 0; probe < lists->size(); ++probe) {
+      for (const auto& n : (*lists)[probe]) {
+        std::printf("%zu\t%s\t%.6f\n", probe, n.id.c_str(),
+                    n.squared_distance);
+      }
+    }
+    return 0;
+  }
+  if (subcommand == "estimate") {
+    const std::string id_a = FlagOr(flags, "id-a", "");
+    const std::string id_b = FlagOr(flags, "id-b", "");
+    if (id_a.empty() || id_b.empty()) {
+      Usage(std::cerr);
+      return 2;
+    }
+    const auto distance = (*router)->SquaredDistance(id_a, id_b, *request);
+    if (!distance.ok()) {
+      std::cerr << distance.status() << "\n";
+      return 1;
+    }
+    std::printf("squared_distance_estimate\t%.6f\n", *distance);
+    return 0;
+  }
+  if (subcommand == "stats") {
+    const auto stats = (*router)->Stats(*request);
+    if (!stats.ok()) {
+      std::cerr << stats.status() << "\n";
+      return 1;
+    }
+    std::cout << *stats;
+    return 0;
+  }
+  Usage(std::cerr);
+  return 2;
 }
 
 int CmdSelftest() {
@@ -1131,6 +1487,21 @@ int Main(int argc, char** argv) {
     Usage(std::cerr);
     return 2;
   }
+  // `client` and `route` likewise take a second token naming the RPC.
+  if (command == "client" || command == "route") {
+    if (argc < 3) {
+      Usage(std::cerr);
+      return 2;
+    }
+    const std::string subcommand = argv[2];
+    std::map<std::string, std::string> net_flags;
+    if (!ParseFlags(argc, argv, 3, &net_flags)) {
+      Usage(std::cerr);
+      return 2;
+    }
+    return command == "client" ? CmdClient(subcommand, net_flags)
+                               : CmdRoute(subcommand, net_flags);
+  }
   std::map<std::string, std::string> flags;
   if (!ParseFlags(argc, argv, 2, &flags)) {
     Usage(std::cerr);
@@ -1142,6 +1513,7 @@ int Main(int argc, char** argv) {
   if (command == "inspect") return CmdInspect(flags);
   if (command == "index-add") return CmdIndexAdd(flags);
   if (command == "index-query" || command == "query") return CmdIndexQuery(flags);
+  if (command == "serve") return CmdServe(flags);
   if (command == "selftest") return CmdSelftest();
   Usage(std::cerr);
   return 2;
