@@ -177,10 +177,10 @@ int main() {
   const auto backfill_b = engine.SubmitQuery(probe, 5, backfill);
   const auto interactive = engine.SubmitQuery(probe, 5);  // default lane
   priority_gate.release.set_value();
-  interactive.Get();
+  DPJL_CHECK(interactive.Get().ok(), "interactive query failed");
   const bool jumped = !backfill_a.Ready() || !backfill_b.Ready();
-  backfill_a.Get();
-  backfill_b.Get();
+  DPJL_CHECK(backfill_a.Get().ok(), "backfill query failed");
+  DPJL_CHECK(backfill_b.Get().ok(), "backfill query failed");
   DPJL_CHECK(priority_gate.task.Get().ok(), "gate task failed");
   std::cout << "\ninteractive query vs 2-deep batch backfill: "
             << (jumped ? "completed before the backfill drained"

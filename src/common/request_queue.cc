@@ -40,7 +40,7 @@ RequestQueue::~RequestQueue() {
   // still here would otherwise leave its caller blocked forever.
   std::unordered_map<Ticket, Request> orphans;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     orphans.swap(pending_);
     for (auto& lane : lanes_) lane.clear();
     tenant_usage_.clear();
@@ -58,7 +58,7 @@ Result<RequestQueue::Ticket> RequestQueue::TryPush(Request request) {
              "request priority out of range");
   Ticket ticket = kNoTicket;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_) {
       return Status::FailedPrecondition("request queue is closed");
     }
@@ -92,7 +92,7 @@ Result<RequestQueue::Ticket> RequestQueue::TryPush(Request request) {
     ++stats_[lane].depth;
     pending_.emplace(ticket, std::move(request));
   }
-  ready_.notify_one();
+  ready_.NotifyOne();
   return ticket;
 }
 
@@ -180,7 +180,18 @@ bool RequestQueue::TakeTokenLocked(const std::string& tenant,
 }
 
 void RequestQueue::NotifyIfIdleLocked() {
-  if (pending_.empty() && in_flight_ == 0) idle_.notify_all();
+  if (pending_.empty() && in_flight_ == 0) idle_.NotifyAll();
+}
+
+void RequestQueue::CompactLaneLocked(size_t lane_index) {
+  auto& lane = lanes_[lane_index];
+  if (stale_[lane_index] * 2 <= static_cast<int64_t>(lane.size())) return;
+  std::deque<Ticket> live;
+  for (const Ticket ticket : lane) {
+    if (pending_.count(ticket) != 0) live.push_back(ticket);
+  }
+  lane.swap(live);
+  stale_[lane_index] = 0;
 }
 
 void RequestQueue::ReleaseTenantLocked(const std::string& tenant) {
@@ -195,8 +206,8 @@ bool RequestQueue::ServeOne() {
   Request request;
   bool expired = false;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [this] { return closed_ || !pending_.empty(); });
+    MutexLock lock(mutex_);
+    while (!closed_ && pending_.empty()) ready_.Wait(mutex_);
     if (pending_.empty()) return false;  // closed and drained
     const Clock::time_point now = Clock::now();
     PromoteAgedLocked(now);
@@ -211,7 +222,7 @@ bool RequestQueue::ServeOne() {
   // The tenant's slot is held until the work completes — the quota meters
   // in-flight requests, not just queued ones.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ReleaseTenantLocked(request.tenant);
     --in_flight_;
     NotifyIfIdleLocked();
@@ -222,7 +233,7 @@ bool RequestQueue::ServeOne() {
 bool RequestQueue::Cancel(Ticket ticket) {
   Request request;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = pending_.find(ticket);
     if (it == pending_.end()) return false;  // popped, cancelled, or unknown
     request = std::move(it->second);
@@ -233,19 +244,10 @@ bool RequestQueue::Cancel(Ticket ticket) {
     ++stats.cancelled;
     ReleaseTenantLocked(request.tenant);
     // Keep stale tickets a minority of the lane: once they outnumber the
-    // live ones, sweep them out. Each sweep removes at least half of the
-    // deque, so the cost amortizes to O(1) per cancel and a cancel-heavy
-    // caller cannot grow the lane without bound while other lanes stay
-    // busy.
-    auto& lane = lanes_[lane_index];
-    if (++stale_[lane_index] * 2 > static_cast<int64_t>(lane.size())) {
-      lane.erase(std::remove_if(lane.begin(), lane.end(),
-                                [this](Ticket stale_ticket) {
-                                  return pending_.count(stale_ticket) == 0;
-                                }),
-                 lane.end());
-      stale_[lane_index] = 0;
-    }
+    // live ones, sweep them out, so a cancel-heavy caller cannot grow the
+    // lane without bound while other lanes stay busy.
+    ++stale_[lane_index];
+    CompactLaneLocked(lane_index);
     NotifyIfIdleLocked();
   }
   request.handler(
@@ -255,25 +257,25 @@ bool RequestQueue::Cancel(Ticket ticket) {
 
 void RequestQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
   }
-  ready_.notify_all();
+  ready_.NotifyAll();
 }
 
 void RequestQueue::WaitIdle() const {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return pending_.empty() && in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (!pending_.empty() || in_flight_ != 0) idle_.Wait(mutex_);
 }
 
 int64_t RequestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return static_cast<int64_t>(pending_.size());
 }
 
 RequestQueue::Stats RequestQueue::GetStats() const {
   Stats stats;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stats.lanes = stats_;
   for (const LaneStats& lane : stats_) stats.deadline_misses += lane.expired;
   stats.tenant_usage.insert(tenant_usage_.begin(), tenant_usage_.end());

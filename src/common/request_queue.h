@@ -3,16 +3,15 @@
 
 #include <array>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "src/common/annotated_mutex.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
 
@@ -177,19 +176,19 @@ class RequestQueue {
 
   /// Admits `request` and returns its ticket, or refuses it without side
   /// effects (see above). `request.handler` must be non-null.
-  Result<Ticket> TryPush(Request request);
+  Result<Ticket> TryPush(Request request) EXCLUDES(mutex_);
 
   /// Serves one request (see above). Returns false when the queue is
   /// closed and drained — the serving-thread exit signal.
-  bool ServeOne();
+  bool ServeOne() EXCLUDES(mutex_);
 
   /// Cancels a still-queued request: its handler runs with `kCancelled`
   /// on this thread and true is returned. Returns false when the ticket
   /// is unknown, already popped, or already cancelled.
-  bool Cancel(Ticket ticket);
+  bool Cancel(Ticket ticket) EXCLUDES(mutex_);
 
   /// Stops admissions and wakes all blocked ServeOne callers.
-  void Close();
+  void Close() EXCLUDES(mutex_);
 
   /// Blocks until the queue is idle: nothing queued and nothing in flight
   /// (every popped handler has returned and released its tenant slot), so
@@ -197,35 +196,41 @@ class RequestQueue {
   /// immediately on an idle queue. Producers submitting concurrently
   /// extend the wait; never call this from inside a request handler (the
   /// handler is what the wait is waiting on).
-  void WaitIdle() const;
+  void WaitIdle() const EXCLUDES(mutex_);
 
   int64_t capacity() const { return capacity_; }
   int64_t tenant_quota() const { return tenant_quota_; }
   int64_t tenant_rate() const { return tenant_rate_; }
 
   /// Number of queued (not yet popped) requests; advisory under concurrency.
-  int64_t size() const;
+  int64_t size() const EXCLUDES(mutex_);
 
   /// Counter snapshot; internally consistent, advisory under concurrency.
-  Stats GetStats() const;
+  Stats GetStats() const EXCLUDES(mutex_);
 
  private:
   /// Pops the next live ticket by strict lane priority. Caller must hold
   /// `mutex_` and guarantee at least one pending request exists.
-  Request PopLockedAndCount(Clock::time_point now, bool* expired);
+  Request PopLockedAndCount(Clock::time_point now, bool* expired)
+      REQUIRES(mutex_);
 
   /// Moves every front-of-lane request older than `starvation_age_` one
   /// lane up (FIFO within a lane means the front is the oldest live entry,
   /// so scanning fronts suffices). Caller must hold `mutex_`; no-op when
   /// promotion is disabled.
-  void PromoteAgedLocked(Clock::time_point now);
+  void PromoteAgedLocked(Clock::time_point now) REQUIRES(mutex_);
 
   /// Decrements `tenant`'s usage (no-op for the empty tenant).
-  void ReleaseTenantLocked(const std::string& tenant);
+  void ReleaseTenantLocked(const std::string& tenant) REQUIRES(mutex_);
 
   /// Wakes WaitIdle() waiters when the queue just went idle. Caller must
   /// hold `mutex_`.
-  void NotifyIfIdleLocked();
+  void NotifyIfIdleLocked() REQUIRES(mutex_);
+
+  /// Sweeps `lanes_[lane_index]`'s stale (cancelled) tickets once they
+  /// outnumber the live ones. Each sweep removes at least half the deque,
+  /// so the cost amortizes to O(1) per cancel.
+  void CompactLaneLocked(size_t lane_index) REQUIRES(mutex_);
 
   /// One tenant's token bucket (rate limiting). Buckets are created full
   /// (one second's burst) on the tenant's first submission and refill
@@ -239,30 +244,32 @@ class RequestQueue {
   /// false (bucket empty — over rate) without side effects beyond the
   /// refill. Caller must hold `mutex_`; no-op true when rate limiting is
   /// off or `tenant` is empty.
-  bool TakeTokenLocked(const std::string& tenant, Clock::time_point now);
+  bool TakeTokenLocked(const std::string& tenant, Clock::time_point now)
+      REQUIRES(mutex_);
 
   const int64_t capacity_;
   const int64_t tenant_quota_;
   const Clock::duration starvation_age_;
   const int64_t tenant_rate_;
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  mutable std::condition_variable idle_;
+  mutable Mutex mutex_;
+  CondVar ready_;
+  mutable CondVar idle_;
   /// Admitted-but-unresolved requests, keyed by ticket. Lanes hold tickets
   /// only; a ticket missing from this map is stale (cancelled) and popped
   /// lazily, which is what makes Cancel O(1). A lane whose stale tickets
   /// outnumber its live ones is compacted on the spot (amortized O(1) per
   /// cancel), so cancel-heavy callers cannot grow a lane without bound.
-  std::unordered_map<Ticket, Request> pending_;
-  std::array<std::deque<Ticket>, kNumPriorityLanes> lanes_;
-  std::array<int64_t, kNumPriorityLanes> stale_ = {};
-  std::array<LaneStats, kNumPriorityLanes> stats_;
-  std::unordered_map<std::string, int64_t> tenant_usage_;
-  std::unordered_map<std::string, TokenBucket> tenant_buckets_;
+  std::unordered_map<Ticket, Request> pending_ GUARDED_BY(mutex_);
+  std::array<std::deque<Ticket>, kNumPriorityLanes> lanes_ GUARDED_BY(mutex_);
+  std::array<int64_t, kNumPriorityLanes> stale_ GUARDED_BY(mutex_) = {};
+  std::array<LaneStats, kNumPriorityLanes> stats_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, int64_t> tenant_usage_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, TokenBucket> tenant_buckets_
+      GUARDED_BY(mutex_);
   /// Requests popped whose handler has not yet returned.
-  int64_t in_flight_ = 0;
-  Ticket next_ticket_ = 1;
-  bool closed_ = false;
+  int64_t in_flight_ GUARDED_BY(mutex_) = 0;
+  Ticket next_ticket_ GUARDED_BY(mutex_) = 1;
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dpjl

@@ -16,8 +16,11 @@ namespace dpjl {
 ///
 /// Accessing the value of an errored Result aborts via DPJL_CHECK, so call
 /// sites either test `ok()` first or deliberately accept a crash on bug.
+///
+/// Like `Status`, the class is `[[nodiscard]]`: dropping a Result on the
+/// floor drops both the value and the error, so it does not compile.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result. Intentionally implicit so functions can
   /// `return value;`.

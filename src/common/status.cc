@@ -1,5 +1,7 @@
 #include "src/common/status.h"
 
+#include <iostream>
+
 #include "src/common/result.h"
 
 namespace dpjl {
@@ -64,6 +66,11 @@ std::string Status::ToString() const {
 
 std::ostream& operator<<(std::ostream& os, const Status& status) {
   return os << status.ToString();
+}
+
+void LogIfError(const Status& status, std::string_view context) {
+  if (status.ok()) return;
+  std::cerr << context << ": " << status.ToString() << "\n";
 }
 
 }  // namespace dpjl

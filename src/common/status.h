@@ -65,7 +65,11 @@ Result<StatusCode> StatusCodeFromInt(int value);
 /// `dpjl` does not throw exceptions across public API boundaries; fallible
 /// operations return `Status` (or `Result<T>`, see result.h). An OK status
 /// carries no message and is cheap to copy.
-class Status {
+///
+/// The class itself is `[[nodiscard]]`: every function returning a Status
+/// must have its result checked (or deliberately dropped through
+/// `LogIfError`). Silently ignoring a failure does not compile.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -133,6 +137,13 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Deliberate status drop: logs `context: <status>` to stderr when `status`
+/// is not OK, and nothing otherwise. This is the only sanctioned way to
+/// ignore a `[[nodiscard]]` Status — best-effort paths (connection
+/// teardown, CLI cleanup) call it so the drop is explicit, visible in the
+/// log, and greppable.
+void LogIfError(const Status& status, std::string_view context);
 
 }  // namespace dpjl
 

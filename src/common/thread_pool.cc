@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "src/common/annotated_mutex.h"
+
 namespace dpjl {
 
 namespace {
@@ -14,9 +16,9 @@ namespace {
 /// last toucher may be a worker rather than the caller.
 struct ForState {
   explicit ForState(int64_t chunks) : remaining(chunks) {}
-  std::mutex m;
-  std::condition_variable done;
-  int64_t remaining;
+  Mutex m;
+  CondVar done;
+  int64_t remaining GUARDED_BY(m);
 };
 
 }  // namespace
@@ -31,10 +33,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -46,8 +48,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) task_available_.Wait(mutex_);
       if (tasks_.empty()) return;  // stop_ set and queue drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -59,7 +61,7 @@ void ThreadPool::WorkerLoop() {
 bool ThreadPool::RunOneTask() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (tasks_.empty()) return false;
     task = std::move(tasks_.front());
     tasks_.pop_front();
@@ -96,26 +98,26 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   }
   auto state = std::make_shared<ForState>(num_chunks - 1);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Enqueue all but the last chunk; the caller runs that one itself.
     for (int64_t b = begin; b + chunk < end; b += chunk) {
       const int64_t e = std::min(end, b + chunk);
       tasks_.emplace_back([state, &fn, b, e] {
         fn(b, e);
-        std::lock_guard<std::mutex> state_lock(state->m);
-        if (--state->remaining == 0) state->done.notify_all();
+        MutexLock state_lock(state->m);
+        if (--state->remaining == 0) state->done.NotifyAll();
       });
     }
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   // The caller's own chunk, then help drain the queue (possibly including
   // other callers' chunks — harmless) until this call's chunks are done.
   const int64_t last_begin = begin + (num_chunks - 1) * chunk;
   fn(last_begin, end);
   while (RunOneTask()) {
   }
-  std::unique_lock<std::mutex> lock(state->m);
-  state->done.wait(lock, [&state] { return state->remaining == 0; });
+  MutexLock lock(state->m);
+  while (state->remaining != 0) state->done.Wait(state->m);
 }
 
 }  // namespace dpjl

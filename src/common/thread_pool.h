@@ -1,13 +1,13 @@
 #ifndef DPJL_COMMON_THREAD_POOL_H_
 #define DPJL_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/annotated_mutex.h"
 
 namespace dpjl {
 
@@ -66,10 +66,11 @@ class ThreadPool {
   /// Pops and runs one queued task. Returns false if the queue was empty.
   bool RunOneTask();
 
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::deque<std::function<void()>> tasks_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar task_available_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
+  /// Written by the constructor only; joined by the destructor.
   std::vector<std::thread> workers_;
 };
 

@@ -128,17 +128,16 @@ Result<EngineOptions> EngineOptions::Parse(
   // The one list of engine flag names; a key outside it (and outside the
   // caller's declared passthrough) is a typo, not something to silently
   // ignore.
-  static const std::set<std::string>* const kRecognized =
-      new std::set<std::string>{
-          "epsilon",        "delta",         "alpha",
-          "beta",           "seed",          "transform",
-          "k-override",     "s-override",    "noise",
-          "placement",      "threads",       "shards",
-          "serving-threads", "queue-capacity", "tenant-quota",
-          "tenant-rate",    "deadline-ms",     "starvation-age-ms",
-          "batch-grain"};
+  static const std::set<std::string> kRecognized{
+      "epsilon",        "delta",         "alpha",
+      "beta",           "seed",          "transform",
+      "k-override",     "s-override",    "noise",
+      "placement",      "threads",       "shards",
+      "serving-threads", "queue-capacity", "tenant-quota",
+      "tenant-rate",    "deadline-ms",     "starvation-age-ms",
+      "batch-grain"};
   for (const auto& entry : flags) {
-    if (kRecognized->count(entry.first) == 0 &&
+    if (kRecognized.count(entry.first) == 0 &&
         std::find(passthrough.begin(), passthrough.end(), entry.first) ==
             passthrough.end()) {
       return Status::InvalidArgument(
@@ -370,7 +369,7 @@ Result<std::vector<PrivateSketch>> Engine::SketchBatch(
 }
 
 Status Engine::Insert(std::string id, PrivateSketch sketch) {
-  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  WriterLock lock(index_mutex_);
   if (!partitions_.empty()) {
     DPJL_RETURN_IF_ERROR(CheckInsertLocked(id, sketch.metadata(),
                                            CorpusFingerprintLocked()));
@@ -380,7 +379,7 @@ Status Engine::Insert(std::string id, PrivateSketch sketch) {
 
 Status Engine::InsertBatch(
     std::vector<std::pair<std::string, PrivateSketch>> items) {
-  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  WriterLock lock(index_mutex_);
   if (!partitions_.empty()) {
     // The corpus fingerprint is loop-invariant under the write lock;
     // compute it once for the whole batch.
@@ -419,14 +418,14 @@ Status Engine::InsertVector(std::string id, const std::vector<double>& x,
 }
 
 int64_t Engine::index_size() const {
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  ReaderLock lock(index_mutex_);
   int64_t total = index_.size();
   for (const auto& partition : partitions_) total += partition.second.size();
   return total;
 }
 
 std::vector<std::string> Engine::ids() const {
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  ReaderLock lock(index_mutex_);
   std::vector<std::string> all = index_.ids();
   for (const auto& partition : partitions_) {
     const std::vector<std::string>& part_ids = partition.second.ids();
@@ -436,7 +435,7 @@ std::vector<std::string> Engine::ids() const {
 }
 
 std::string Engine::SerializeIndex() const {
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  ReaderLock lock(index_mutex_);
   return index_.Serialize();
 }
 
@@ -522,7 +521,7 @@ uint64_t Engine::CorpusFingerprintLocked() const {
 }
 
 Result<int64_t> Engine::AttachPartition(SketchIndex partition) {
-  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  WriterLock lock(index_mutex_);
   if (partition.size() > 0) {
     const uint64_t corpus = CorpusFingerprintLocked();
     const uint64_t incoming = CompatibilityFingerprint(
@@ -544,7 +543,7 @@ Result<int64_t> Engine::AttachPartition(SketchIndex partition) {
 }
 
 Status Engine::DetachPartition(int64_t handle) {
-  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  WriterLock lock(index_mutex_);
   for (auto it = partitions_.begin(); it != partitions_.end(); ++it) {
     if (it->first == handle) {
       partitions_.erase(it);
@@ -556,24 +555,24 @@ Status Engine::DetachPartition(int64_t handle) {
 }
 
 int64_t Engine::num_partitions() const {
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  ReaderLock lock(index_mutex_);
   return static_cast<int64_t>(partitions_.size());
 }
 
 Result<std::vector<SketchIndex::Neighbor>> Engine::NearestNeighbors(
     const PrivateSketch& query, int64_t top_n) const {
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  ReaderLock lock(index_mutex_);
   return NearestNeighborsLocked(query, top_n, pool_.get());
 }
 
 Result<std::vector<SketchIndex::Neighbor>> Engine::RangeQuery(
     const PrivateSketch& query, double radius_sq) const {
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  ReaderLock lock(index_mutex_);
   return RangeQueryLocked(query, radius_sq, pool_.get());
 }
 
 Result<SketchIndex::DistanceMatrix> Engine::AllPairsDistances() const {
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  ReaderLock lock(index_mutex_);
   if (partitions_.empty()) return index_.AllPairsDistances(pool_.get());
   // Flatten the corpus (owned index, then partitions in attach order) and
   // run the exact computation core the monolithic index uses; the result
@@ -593,7 +592,7 @@ Result<SketchIndex::DistanceMatrix> Engine::AllPairsDistances() const {
 
 Result<double> Engine::SquaredDistance(const std::string& id_a,
                                        const std::string& id_b) const {
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  ReaderLock lock(index_mutex_);
   if (partitions_.empty()) return index_.SquaredDistance(id_a, id_b);
   const PrivateSketch* a = FindLocked(id_a);
   const PrivateSketch* b = FindLocked(id_b);
@@ -604,7 +603,7 @@ Result<double> Engine::SquaredDistance(const std::string& id_a,
 }
 
 Result<PrivateSketch> Engine::GetSketch(const std::string& id) const {
-  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  ReaderLock lock(index_mutex_);
   if (const PrivateSketch* found = FindLocked(id)) return *found;
   return Status::NotFound("unknown sketch id: " + id);
 }
@@ -662,7 +661,7 @@ EngineFuture<std::vector<SketchIndex::Neighbor>> Engine::SubmitQuery(
     PrivateSketch query, int64_t top_n, const RequestOptions& request) {
   return Submit<std::vector<SketchIndex::Neighbor>>(
       [this, query = std::move(query), top_n](const CancelToken& cancel) {
-        std::shared_lock<std::shared_mutex> lock(index_mutex_);
+        ReaderLock lock(index_mutex_);
         return NearestNeighborsLocked(query, top_n, pool_.get(), cancel);
       },
       request);
@@ -677,7 +676,7 @@ EngineFuture<std::vector<SketchIndex::Neighbor>> Engine::SubmitRangeQuery(
     PrivateSketch query, double radius_sq, const RequestOptions& request) {
   return Submit<std::vector<SketchIndex::Neighbor>>(
       [this, query = std::move(query), radius_sq](const CancelToken& cancel) {
-        std::shared_lock<std::shared_mutex> lock(index_mutex_);
+        ReaderLock lock(index_mutex_);
         return RangeQueryLocked(query, radius_sq, pool_.get(), cancel);
       },
       request);
@@ -696,7 +695,7 @@ Engine::SubmitQueryBatch(std::vector<PrivateSketch> queries, int64_t top_n,
         // pool-parallel scan a lone SubmitQuery performs. The cancel token
         // is polled per probe, so cancelling a large batch stops its
         // remaining probes, not just its queue admission.
-        std::shared_lock<std::shared_mutex> lock(index_mutex_);
+        ReaderLock lock(index_mutex_);
         const int64_t n = static_cast<int64_t>(queries.size());
         std::vector<std::vector<SketchIndex::Neighbor>> results(queries.size());
         std::vector<Status> probe_status(queries.size());

@@ -2,20 +2,19 @@
 #define DPJL_CORE_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag; mutexes themselves are the annotated wrappers
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/common/annotated_mutex.h"
 #include "src/common/request_queue.h"
 #include "src/common/result.h"
 #include "src/common/thread_pool.h"
@@ -132,19 +131,19 @@ namespace internal {
 /// waits on.
 template <typename T>
 struct FutureState {
-  std::mutex mutex;
-  std::condition_variable ready;
-  std::optional<Result<T>> result;
+  Mutex mutex;
+  CondVar ready;
+  std::optional<Result<T>> result GUARDED_BY(mutex);
   /// Raised by EngineFuture::Cancel; observed through a CancelToken by the
   /// in-flight computation.
   std::atomic<bool> cancel_requested{false};
 
   void Set(Result<T> value) {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       result.emplace(std::move(value));
     }
-    ready.notify_all();
+    ready.NotifyAll();
   }
 };
 
@@ -156,8 +155,11 @@ struct FutureState {
 /// expired in the queue, `kResourceExhausted` when it was refused at
 /// admission, `kCancelled` when Cancel() won, or the underlying
 /// operation's own error).
+///
+/// `[[nodiscard]]`: dropping the future a Submit* returned means the
+/// request's outcome (including its failure) can never be observed.
 template <typename T>
-class EngineFuture {
+class [[nodiscard]] EngineFuture {
  public:
   EngineFuture() = default;
 
@@ -166,15 +168,15 @@ class EngineFuture {
   /// True once the result is available; never blocks.
   bool Ready() const {
     DPJL_CHECK(valid(), "EngineFuture is default-constructed");
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     return state_->result.has_value();
   }
 
   /// Blocks until the result is available and returns it.
   Result<T> Get() const {
     DPJL_CHECK(valid(), "EngineFuture is default-constructed");
-    std::unique_lock<std::mutex> lock(state_->mutex);
-    state_->ready.wait(lock, [this] { return state_->result.has_value(); });
+    MutexLock lock(state_->mutex);
+    while (!state_->result.has_value()) state_->ready.Wait(state_->mutex);
     return *state_->result;
   }
 
@@ -330,7 +332,7 @@ class Engine {
   std::vector<std::string> ids() const;
   /// Snapshot of the engine-OWNED index only; attached partitions are
   /// serialized by whoever built them (they are read-only here).
-  std::string SerializeIndex() const;
+  [[nodiscard]] std::string SerializeIndex() const;
 
   // --- partitioned serving ---
 
@@ -462,16 +464,19 @@ class Engine {
   /// the remaining fan-out with kCancelled.
   Result<std::vector<SketchIndex::Neighbor>> NearestNeighborsLocked(
       const PrivateSketch& query, int64_t top_n, ThreadPool* pool,
-      const CancelToken& cancel = CancelToken()) const;
+      const CancelToken& cancel = CancelToken()) const
+      REQUIRES_SHARED(index_mutex_);
   Result<std::vector<SketchIndex::Neighbor>> RangeQueryLocked(
       const PrivateSketch& query, double radius_sq, ThreadPool* pool,
-      const CancelToken& cancel = CancelToken()) const;
+      const CancelToken& cancel = CancelToken()) const
+      REQUIRES_SHARED(index_mutex_);
 
   /// Lookup across the owned index and every attached partition.
-  const PrivateSketch* FindLocked(const std::string& id) const;
+  const PrivateSketch* FindLocked(const std::string& id) const
+      REQUIRES_SHARED(index_mutex_);
 
   /// CompatibilityFingerprint of the served corpus (0 when empty).
-  uint64_t CorpusFingerprintLocked() const;
+  uint64_t CorpusFingerprintLocked() const REQUIRES_SHARED(index_mutex_);
 
   /// Uniqueness + compatibility admission check for a new insert when
   /// partitions are attached (the owned index can only vouch for itself).
@@ -480,7 +485,8 @@ class Engine {
   /// recompute it.
   Status CheckInsertLocked(const std::string& id,
                            const SketchMetadata& metadata,
-                           uint64_t corpus_fingerprint) const;
+                           uint64_t corpus_fingerprint) const
+      REQUIRES_SHARED(index_mutex_);
 
   /// Shared Submit plumbing: wraps `compute` in a queue request that
   /// fulfills `state` with either the computed result or the queue's
@@ -518,11 +524,12 @@ class Engine {
   std::unique_ptr<ThreadPool> pool_;
   std::optional<BatchSketcher> batcher_;
 
-  mutable std::shared_mutex index_mutex_;
-  SketchIndex index_;
+  mutable SharedMutex index_mutex_;
+  SketchIndex index_ GUARDED_BY(index_mutex_);
   /// Attached read-only partitions, in attach order, with their handles.
-  std::vector<std::pair<int64_t, SketchIndex>> partitions_;
-  int64_t next_partition_handle_ = 1;
+  std::vector<std::pair<int64_t, SketchIndex>> partitions_
+      GUARDED_BY(index_mutex_);
+  int64_t next_partition_handle_ GUARDED_BY(index_mutex_) = 1;
 
   /// shared_ptr so futures can hold a weak reference for Cancel() that
   /// outlives the engine safely.

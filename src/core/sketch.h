@@ -77,7 +77,7 @@ class PrivateSketch {
   double RawSquaredNorm() const;
 
   /// Binary serialization (little-endian, versioned header).
-  std::string Serialize() const;
+  [[nodiscard]] std::string Serialize() const;
   static Result<PrivateSketch> Deserialize(const std::string& bytes);
 
  private:

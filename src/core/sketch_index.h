@@ -132,7 +132,7 @@ class SketchIndex {
   /// Deserialize also accepts pre-envelope "v0" blobs (legacy "DPJLIX01"
   /// magic, no checksum) so snapshots written before the envelope existed
   /// keep loading. Serialize always writes the enveloped form.
-  std::string Serialize() const;
+  [[nodiscard]] std::string Serialize() const;
   static Result<SketchIndex> Deserialize(const std::string& bytes);
 
   /// A corpus exported as independently loadable partition snapshots plus
@@ -188,7 +188,7 @@ class SketchIndex {
   void AppendEntry(std::string id, PrivateSketch sketch);
 
   /// Record stream for order_[begin, end) — the envelope payload format.
-  std::string SerializeRange(size_t begin, size_t end) const;
+  [[nodiscard]] std::string SerializeRange(size_t begin, size_t end) const;
 
   /// Parses a record stream produced by SerializeRange (count + records).
   static Result<SketchIndex> DecodeRecords(const std::string& bytes,

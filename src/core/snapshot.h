@@ -61,7 +61,7 @@ struct SnapshotEnvelope {
 };
 
 /// Wraps `payload` in a v1 envelope of the given kind.
-std::string EncodeSnapshot(SnapshotKind kind, std::string payload);
+[[nodiscard]] std::string EncodeSnapshot(SnapshotKind kind, std::string payload);
 
 /// Verifies and strips the envelope: magic, known version, exact size,
 /// checksum. Any failure is kDataLoss with a message naming the layer
@@ -109,7 +109,7 @@ struct ShardManifest {
   uint64_t fingerprint = 0;
   std::vector<Partition> partitions;
 
-  std::string Serialize() const;
+  [[nodiscard]] std::string Serialize() const;
   static Result<ShardManifest> Deserialize(const std::string& bytes);
 };
 

@@ -13,6 +13,8 @@ std::vector<double> LinearTransform::ApplySparse(const SparseVector& x) const {
 void LinearTransform::ApplyBlock(const std::vector<double>* xs, int64_t count,
                                  std::vector<double>* ys,
                                  std::vector<double>* scratch) const {
+  // The generic fallback has no use for the caller-provided scratch
+  // buffer; specialized overrides (e.g. the SIMD kernels) do.
   (void)scratch;
   for (int64_t i = 0; i < count; ++i) ys[i] = Apply(xs[i]);
 }

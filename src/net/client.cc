@@ -10,7 +10,7 @@ Client::Client(std::string host, int port, ClientOptions options)
 
 Result<Socket> Client::BorrowConnection() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!pool_.empty()) {
       Socket connection = std::move(pool_.back());
       pool_.pop_back();
@@ -21,7 +21,7 @@ Result<Socket> Client::BorrowConnection() {
 }
 
 void Client::ReturnConnection(Socket connection) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (static_cast<int64_t>(pool_.size()) < options_.max_pooled_connections) {
     pool_.push_back(std::move(connection));
   }
@@ -29,7 +29,7 @@ void Client::ReturnConnection(Socket connection) {
 }
 
 void Client::CloseConnections() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   pool_.clear();
 }
 
@@ -59,7 +59,7 @@ Result<Frame> Client::Call(MessageType type, std::string payload,
   for (int attempt = 0; attempt < 2; ++attempt) {
     bool reused;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       reused = !pool_.empty();
     }
     DPJL_ASSIGN_OR_RETURN(Socket connection, BorrowConnection());

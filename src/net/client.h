@@ -2,10 +2,10 @@
 #define DPJL_NET_CLIENT_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/annotated_mutex.h"
 #include "src/common/request_queue.h"
 #include "src/common/result.h"
 #include "src/core/sketch.h"
@@ -103,8 +103,8 @@ class Client {
   const int port_;
   const ClientOptions options_;
 
-  std::mutex mutex_;
-  std::vector<Socket> pool_;
+  Mutex mutex_;
+  std::vector<Socket> pool_ GUARDED_BY(mutex_);
 };
 
 }  // namespace net

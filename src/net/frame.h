@@ -119,7 +119,7 @@ struct FrameSizes {
 };
 
 /// Encodes a complete frame.
-std::string EncodeFrame(const FrameHeader& header, std::string payload);
+[[nodiscard]] std::string EncodeFrame(const FrameHeader& header, std::string payload);
 
 /// Stage-1 decode for streaming readers: validates magic, version and the
 /// sanity caps over exactly the first kFrameHeaderBytes bytes, returning
@@ -163,41 +163,41 @@ struct InsertRequest {
   std::string sketch;  ///< PrivateSketch::Serialize bytes
 };
 
-std::string EncodeNearestNeighborsRequest(const NearestNeighborsRequest& req);
+[[nodiscard]] std::string EncodeNearestNeighborsRequest(const NearestNeighborsRequest& req);
 Result<NearestNeighborsRequest> DecodeNearestNeighborsRequest(
     const std::string& payload);
 
-std::string EncodeRangeQueryRequest(const RangeQueryRequest& req);
+[[nodiscard]] std::string EncodeRangeQueryRequest(const RangeQueryRequest& req);
 Result<RangeQueryRequest> DecodeRangeQueryRequest(const std::string& payload);
 
-std::string EncodeSquaredDistanceRequest(const SquaredDistanceRequest& req);
+[[nodiscard]] std::string EncodeSquaredDistanceRequest(const SquaredDistanceRequest& req);
 Result<SquaredDistanceRequest> DecodeSquaredDistanceRequest(
     const std::string& payload);
 
-std::string EncodeBatchQueryRequest(const BatchQueryRequest& req);
+[[nodiscard]] std::string EncodeBatchQueryRequest(const BatchQueryRequest& req);
 Result<BatchQueryRequest> DecodeBatchQueryRequest(const std::string& payload);
 
-std::string EncodeInsertRequest(const InsertRequest& req);
+[[nodiscard]] std::string EncodeInsertRequest(const InsertRequest& req);
 Result<InsertRequest> DecodeInsertRequest(const std::string& payload);
 
 /// GetSketch request payload is the bare length-prefixed id; Stats and
 /// Ping payloads are empty.
-std::string EncodeIdPayload(const std::string& id);
+[[nodiscard]] std::string EncodeIdPayload(const std::string& id);
 Result<std::string> DecodeIdPayload(const std::string& payload);
 
 /// Neighbor lists: u64 count, then per neighbor a length-prefixed id and
 /// the distance's 8 IEEE-754 bytes — the byte-identity-preserving
 /// transport of query results.
-std::string EncodeNeighbors(const std::vector<SketchIndex::Neighbor>& list);
+[[nodiscard]] std::string EncodeNeighbors(const std::vector<SketchIndex::Neighbor>& list);
 Result<std::vector<SketchIndex::Neighbor>> DecodeNeighbors(
     const std::string& payload);
 
-std::string EncodeBatchNeighbors(
+[[nodiscard]] std::string EncodeBatchNeighbors(
     const std::vector<std::vector<SketchIndex::Neighbor>>& lists);
 Result<std::vector<std::vector<SketchIndex::Neighbor>>> DecodeBatchNeighbors(
     const std::string& payload);
 
-std::string EncodeDistance(double value);
+[[nodiscard]] std::string EncodeDistance(double value);
 Result<double> DecodeDistance(const std::string& payload);
 
 /// Error responses carry the Status across the wire: i32 code (validated
@@ -211,7 +211,7 @@ struct WireStatus {
   Status ToStatus() const { return Status(code, message); }
 };
 
-std::string EncodeErrorStatus(const Status& status);
+[[nodiscard]] std::string EncodeErrorStatus(const Status& status);
 Result<WireStatus> DecodeErrorStatus(const std::string& payload);
 
 class Socket;

@@ -135,7 +135,7 @@ Result<std::unique_ptr<Router>> Router::Create(
 
 Client* Router::ClientFor(const Endpoint& endpoint) {
   const std::string key = endpoint.ToString();
-  std::lock_guard<std::mutex> lock(clients_mutex_);
+  MutexLock lock(clients_mutex_);
   std::unique_ptr<Client>& slot = clients_[key];
   if (slot == nullptr) {
     slot = std::make_unique<Client>(endpoint.host, endpoint.port,

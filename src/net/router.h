@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/annotated_mutex.h"
 #include "src/common/request_queue.h"
 #include "src/common/result.h"
 #include "src/core/sketch.h"
@@ -143,8 +143,9 @@ class Router {
   /// Per-group round-robin cursors.
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> cursors_;
 
-  std::mutex clients_mutex_;
-  std::unordered_map<std::string, std::unique_ptr<Client>> clients_;
+  Mutex clients_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Client>> clients_
+      GUARDED_BY(clients_mutex_);
 };
 
 }  // namespace net

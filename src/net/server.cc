@@ -38,7 +38,7 @@ Server::~Server() { Stop(); }
 
 void Server::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
     // Shutdown before close: wakes the thread blocked in accept() / recv()
@@ -53,20 +53,20 @@ void Server::Stop() {
   // The accept loop is down, so readers_ can no longer grow.
   std::vector<std::thread> readers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     readers.swap(readers_);
   }
   for (std::thread& reader : readers) {
     if (reader.joinable()) reader.join();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   connections_.clear();
 }
 
 void Server::AcceptLoop() {
   while (true) {
     Result<Socket> accepted = AcceptConnection(listener_);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_ || !accepted.ok()) return;
     connections_.push_back(std::make_unique<Socket>(std::move(*accepted)));
     Socket* connection = connections_.back().get();
@@ -78,7 +78,7 @@ void Server::AcceptLoop() {
 void Server::ServeConnection(Socket* connection) {
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) return;
     }
     // Only this thread reads/writes the socket; Stop only calls
@@ -93,7 +93,11 @@ void Server::ServeConnection(Socket* connection) {
       auto [type, payload] = ErrorFrame(received.status());
       FrameHeader header;
       header.type = type;
-      (void)SendFrame(*connection, header, std::move(payload));
+      // Best-effort courtesy reply on a connection we are about to drop;
+      // a send failure here changes nothing, so the drop is logged, not
+      // propagated.
+      LogIfError(SendFrame(*connection, header, std::move(payload)),
+                 "server: error-reply send during connection teardown");
       connection->ShutdownBoth();
       return;
     }

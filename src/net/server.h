@@ -2,11 +2,11 @@
 #define DPJL_NET_SERVER_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/annotated_mutex.h"
 #include "src/common/result.h"
 #include "src/core/engine.h"
 #include "src/net/frame.h"
@@ -81,13 +81,16 @@ class Server {
   Socket listener_;
   std::thread acceptor_;
 
-  std::mutex mutex_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  bool stopping_ GUARDED_BY(mutex_) = false;
   /// Live connection sockets behind stable pointers (the accept loop grows
   /// this vector while readers use their entries); cleared only after all
-  /// readers joined.
-  std::vector<std::unique_ptr<Socket>> connections_;
-  std::vector<std::thread> readers_;
+  /// readers joined. Stop() additionally calls ShutdownBoth on each socket
+  /// while its reader may be blocked in recv — that pairing is the one
+  /// deliberate cross-thread socket touch, and it is lock-protected here
+  /// while readers hold only their stable Socket*.
+  std::vector<std::unique_ptr<Socket>> connections_ GUARDED_BY(mutex_);
+  std::vector<std::thread> readers_ GUARDED_BY(mutex_);
 };
 
 }  // namespace net

@@ -1,0 +1,20 @@
+// Lint fixture: a bare std::mutex member outside the wrapper header must
+// fire `bare-mutex`.
+#ifndef DPJL_TESTS_LINT_FIXTURES_BAD_BARE_MUTEX_H_
+#define DPJL_TESTS_LINT_FIXTURES_BAD_BARE_MUTEX_H_
+
+#include <mutex>
+
+class UnguardedCounter {
+ public:
+  void Increment() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mutex_;
+  int count_ = 0;
+};
+
+#endif  // DPJL_TESTS_LINT_FIXTURES_BAD_BARE_MUTEX_H_

@@ -1,0 +1,11 @@
+// Lint fixture: an uncommented (void) drop must fire `discarded-status`.
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status DoWork();
+
+void CallerThatDropsSilently() {
+  (void)DoWork();
+}

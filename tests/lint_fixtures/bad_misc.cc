@@ -1,0 +1,14 @@
+// Lint fixture: naked new/delete, catch-all, and a wall-clock read in what
+// the linter is told (via a src/jl/-shaped relative path in the test) is
+// noise-path code.
+
+int* LeakyAllocate() { return new int(7); }
+
+void ManualFree(int* p) { delete p; }
+
+void SwallowEverything() {
+  try {
+    ManualFree(LeakyAllocate());
+  } catch (...) {
+  }
+}

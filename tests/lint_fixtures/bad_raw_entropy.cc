@@ -1,0 +1,8 @@
+// Lint fixture: unseeded entropy outside src/random/ must fire
+// `raw-entropy`.
+#include <random>
+
+int UnseededNoise() {
+  std::random_device device;
+  return static_cast<int>(device());
+}

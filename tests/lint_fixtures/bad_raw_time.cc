@@ -1,0 +1,8 @@
+// Lint fixture: the test copies this file to <tmp>/src/jl/noise_clock.cc,
+// where the wall-clock read is inside a noise path and must fire
+// `raw-time-in-noise-path`.
+#include <chrono>
+
+long ClockSeededNoise() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

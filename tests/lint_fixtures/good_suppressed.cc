@@ -1,0 +1,16 @@
+// Lint fixture: every would-be finding here carries a
+// `// dpjl-lint: allow(<rule>)` suppression (same line or the line above),
+// so a run over this file must be clean.
+#include <random>
+
+int DeliberateEntropy() {
+  std::random_device device;  // dpjl-lint: allow(raw-entropy)
+  return static_cast<int>(device());
+}
+
+// dpjl-lint: allow(naked-new)
+int* DeliberateAllocate() { return new int(3); }
+
+void DeliberateFree(int* p) {
+  delete p;  // dpjl-lint: allow(naked-delete)
+}

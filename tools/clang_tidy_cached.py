@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""clang_tidy_cached.py — content-hash cache around clang-tidy.
+
+CI runs clang-tidy over every translation unit in compile_commands.json on
+every push; most TUs do not change between pushes. This wrapper hashes, per
+TU, everything that could change its verdict — the TU's own bytes, every
+in-repo header, the .clang-tidy config, the TU's compile command line, and
+the clang-tidy version — and skips TUs whose hash already has a recorded
+clean result in the cache directory (restored by actions/cache).
+
+A hit means "this exact input was clean before", so only failures and new
+code cost analysis time. Failing TUs are never cached.
+
+Usage:
+  tools/clang_tidy_cached.py --build-dir build/clang-analyze \
+      [--cache-dir .tidy-cache] [--clang-tidy clang-tidy] [--jobs N]
+
+Exit status: 0 if every TU is clean (freshly or by cache), 1 otherwise.
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".cc", ".cpp", ".cxx"}
+HEADER_SUFFIXES = {".h", ".hpp"}
+
+
+def repo_header_digest(root: Path) -> str:
+    """One digest over every in-repo header: coarse but sound — a header
+    edit invalidates everything, exactly like a non-cached run."""
+    digest = hashlib.sha256()
+    for directory in ("src", "tools"):
+        base = root / directory
+        if not base.is_dir():
+            continue
+        for header in sorted(base.rglob("*")):
+            if header.suffix in HEADER_SUFFIXES and header.is_file():
+                digest.update(str(header.relative_to(root)).encode())
+                digest.update(header.read_bytes())
+    return digest.hexdigest()
+
+
+def tidy_version(clang_tidy: str) -> str:
+    try:
+        return subprocess.run(
+            [clang_tidy, "--version"], capture_output=True, text=True, check=True
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as err:
+        sys.exit(f"clang_tidy_cached: cannot run {clang_tidy}: {err}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--cache-dir", default=".tidy-cache")
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--jobs", type=int, default=0)
+    args = parser.parse_args()
+
+    build_dir = Path(args.build_dir)
+    compile_commands = build_dir / "compile_commands.json"
+    if not compile_commands.is_file():
+        sys.exit(f"clang_tidy_cached: {compile_commands} not found (configure first)")
+    root = Path(__file__).resolve().parent.parent
+    cache_dir = Path(args.cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+
+    shared = hashlib.sha256()
+    shared.update(repo_header_digest(root).encode())
+    shared.update((root / ".clang-tidy").read_bytes())
+    shared.update(tidy_version(args.clang_tidy).encode())
+    shared_digest = shared.hexdigest()
+
+    work = []
+    for entry in json.loads(compile_commands.read_text()):
+        tu = Path(entry["directory"], entry["file"]).resolve()
+        if tu.suffix not in SOURCE_SUFFIXES:
+            continue
+        try:
+            rel = tu.relative_to(root)
+        except ValueError:
+            continue  # FetchContent third-party TU
+        if rel.parts[0] not in ("src", "tools"):
+            continue  # tests/bench/examples: tier-1 suites cover them
+        digest = hashlib.sha256()
+        digest.update(shared_digest.encode())
+        digest.update(str(rel).encode())
+        digest.update(tu.read_bytes())
+        digest.update(entry.get("command", " ".join(entry.get("arguments", []))).encode())
+        work.append((tu, rel, digest.hexdigest()))
+
+    todo = [(tu, rel, d) for tu, rel, d in work if not (cache_dir / d).exists()]
+    hits = len(work) - len(todo)
+    print(f"clang_tidy_cached: {len(work)} TUs, {hits} cache hits, {len(todo)} to analyze")
+
+    failed = []
+
+    def run_one(item):
+        tu, rel, digest = item
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", str(build_dir), "--quiet", str(tu)],
+            capture_output=True,
+            text=True,
+        )
+        return rel, digest, proc.returncode, proc.stdout + proc.stderr
+
+    jobs = args.jobs or None
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        for rel, digest, returncode, output in pool.map(run_one, todo):
+            if returncode == 0:
+                (cache_dir / digest).write_text(str(rel))
+                print(f"  clean: {rel}")
+            else:
+                failed.append(rel)
+                print(f"  FAILED: {rel}\n{output}", file=sys.stderr)
+
+    if failed:
+        print(f"clang_tidy_cached: {len(failed)} TU(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

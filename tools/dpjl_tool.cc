@@ -36,19 +36,19 @@
 
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/annotated_mutex.h"
 #include "src/common/timer.h"
 #include "src/core/engine.h"
 #include "src/core/estimators.h"
@@ -201,7 +201,7 @@ Result<std::vector<double>> ReadCsvVector(const std::string& path) {
         size_t used = 0;
         const double v = std::stod(piece, &used);
         values.push_back(v);
-      } catch (...) {
+      } catch (const std::exception&) {
         return Status::InvalidArgument("unparseable value: '" + piece + "'");
       }
     }
@@ -227,7 +227,7 @@ Result<std::vector<std::vector<double>>> ReadCsvMatrix(const std::string& path) 
     while (std::getline(fields, piece, ',')) {
       try {
         row.push_back(std::stod(piece));
-      } catch (...) {
+      } catch (const std::exception&) {
         return Status::InvalidArgument("unparseable value: '" + piece + "'");
       }
     }
@@ -297,16 +297,18 @@ class PeriodicStatsDumper {
     if (interval_ms <= 0) return;
     thread_ = std::thread([this, &engine, &out, interval_ms] {
       EngineStats prev = engine.Stats();
-      std::unique_lock<std::mutex> lock(mutex_);
+      const auto interval = std::chrono::milliseconds(interval_ms);
+      MutexLock lock(mutex_);
+      auto deadline = std::chrono::steady_clock::now() + interval;
       while (!stop_) {
-        if (done_.wait_for(lock, std::chrono::milliseconds(interval_ms),
-                           [this] { return stop_; })) {
-          break;
+        if (done_.WaitUntil(mutex_, deadline) != std::cv_status::timeout) {
+          continue;  // woken early — re-check stop_, keep the same deadline
         }
         const EngineStats now = engine.Stats();
         out << "engine stats delta (" << interval_ms << "ms):\n"
             << now.Delta(prev).ToString();
         prev = now;
+        deadline = std::chrono::steady_clock::now() + interval;
       }
     });
   }
@@ -314,17 +316,17 @@ class PeriodicStatsDumper {
   ~PeriodicStatsDumper() {
     if (!thread_.joinable()) return;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stop_ = true;
     }
-    done_.notify_all();
+    done_.NotifyAll();
     thread_.join();
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable done_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar done_;
+  bool stop_ GUARDED_BY(mutex_) = false;
   std::thread thread_;
 };
 
