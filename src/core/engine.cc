@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "src/common/check.h"
+#include "src/common/top_k.h"
 #include "src/core/estimators.h"
 #include "src/jl/make_transform.h"
 
@@ -446,32 +447,39 @@ Result<std::vector<SketchIndex::Neighbor>> Engine::NearestNeighborsLocked(
     return Status::Cancelled("query cancelled before its partition fan-out");
   }
   if (partitions_.empty()) return index_.NearestNeighbors(query, top_n, pool);
+  // The per-partition scans repeat this check; it runs here first so the
+  // gather heap below is never constructed with an invalid bound.
+  if (top_n < 1) {
+    return Status::InvalidArgument("top_n must be >= 1");
+  }
   // Scatter: the owned index and each partition produce their own top_n
-  // (each scan pool-parallel across its shards in turn). The global top_n
-  // is contained in the union of the per-partition top_n lists, so the
-  // gather below — one deterministic (distance, id) sort plus a truncate —
-  // is byte-identical to scanning one merged index. The cancel token is
-  // polled between partition scans: a cancelled caller stops paying for
-  // the rest of the fan-out instead of completing a result nobody reads.
-  std::vector<SketchIndex::Neighbor> all;
+  // (each a blocked arena scan, pool-parallel across its shards in turn).
+  // The global top_n is contained in the union of the per-partition top_n
+  // lists, so gathering them through the same deterministic (distance, id)
+  // bounded top-k the shard scans use is byte-identical to scanning one
+  // merged index. The cancel token is polled between partition scans: a
+  // cancelled caller stops paying for the rest of the fan-out instead of
+  // completing a result nobody reads.
+  BoundedTopK<SketchIndex::Neighbor,
+              bool (*)(const SketchIndex::Neighbor&,
+                       const SketchIndex::Neighbor&)>
+      gather(top_n, SketchIndex::NeighborLess);
   const auto scatter = [&](const SketchIndex& part) -> Status {
     if (cancel.Cancelled()) {
       return Status::Cancelled("query cancelled mid partition fan-out");
     }
     auto partial = part.NearestNeighbors(query, top_n, pool);
     if (!partial.ok()) return partial.status();
-    all.insert(all.end(), partial->begin(), partial->end());
+    for (SketchIndex::Neighbor& neighbor : *partial) {
+      gather.Push(std::move(neighbor));
+    }
     return Status::OK();
   };
   DPJL_RETURN_IF_ERROR(scatter(index_));
   for (const auto& partition : partitions_) {
     DPJL_RETURN_IF_ERROR(scatter(partition.second));
   }
-  std::sort(all.begin(), all.end(), SketchIndex::NeighborLess);
-  if (static_cast<int64_t>(all.size()) > top_n) {
-    all.resize(static_cast<size_t>(top_n));
-  }
-  return all;
+  return gather.TakeSorted();
 }
 
 Result<std::vector<SketchIndex::Neighbor>> Engine::RangeQueryLocked(

@@ -37,12 +37,11 @@ PrivateSketch::PrivateSketch(std::vector<double> values, SketchMetadata metadata
     : values_(std::move(values)), metadata_(metadata) {
   DPJL_CHECK(static_cast<int64_t>(values_.size()) == metadata_.output_dim,
              "sketch length must equal the transform output dimension");
-}
-
-double PrivateSketch::RawSquaredNorm() const {
+  // Ascending-index accumulation: the cached value is bit-identical to
+  // what the former on-demand loop returned.
   double acc = 0.0;
   for (double v : values_) acc += v * v;
-  return acc;
+  raw_squared_norm_ = acc;
 }
 
 std::string PrivateSketch::Serialize() const {

@@ -73,8 +73,10 @@ class PrivateSketch {
   const std::vector<double>& values() const { return values_; }
   const SketchMetadata& metadata() const { return metadata_; }
 
-  /// ||values||_2^2 minus nothing — raw, for estimator internals.
-  double RawSquaredNorm() const;
+  /// ||values||_2^2 minus nothing — raw, for estimator internals. Computed
+  /// once at construction (values are immutable afterwards), so repeated
+  /// calls from estimator inner loops cost a load, not an O(k) rescan.
+  double RawSquaredNorm() const { return raw_squared_norm_; }
 
   /// Binary serialization (little-endian, versioned header).
   [[nodiscard]] std::string Serialize() const;
@@ -83,6 +85,7 @@ class PrivateSketch {
  private:
   std::vector<double> values_;
   SketchMetadata metadata_;
+  double raw_squared_norm_ = 0.0;
 };
 
 }  // namespace dpjl

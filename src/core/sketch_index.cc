@@ -4,7 +4,9 @@
 #include <cstring>
 #include <functional>
 
+#include "src/common/top_k.h"
 #include "src/core/estimators.h"
+#include "src/jl/transform.h"
 
 namespace dpjl {
 
@@ -73,10 +75,39 @@ Status SketchIndex::Add(std::string id, PrivateSketch sketch) {
   return Status::OK();
 }
 
+void SketchIndex::SketchArena::Append(const PrivateSketch& sketch) {
+  const std::vector<double>& v = sketch.values();
+  if (count == 0) dim = static_cast<int64_t>(v.size());
+  DPJL_CHECK(static_cast<int64_t>(v.size()) == dim,
+             "arena append requires a compatibility-checked sketch");
+  const int64_t lane = count % kSketchBlockWidth;
+  if (lane == 0) {
+    // New tail block, zero-padded: unfilled lanes scan as the zero vector
+    // and their garbage distances are discarded by the width bound.
+    values.resize(values.size() +
+                      static_cast<size_t>(dim) * kSketchBlockWidth,
+                  0.0);
+  }
+  double* block =
+      values.data() +
+      (count / kSketchBlockWidth) * dim * kSketchBlockWidth;
+  for (int64_t j = 0; j < dim; ++j) {
+    block[j * kSketchBlockWidth + lane] = v[static_cast<size_t>(j)];
+  }
+  raw_norms.push_back(sketch.RawSquaredNorm());
+  noise_centers.push_back(sketch.metadata().noise_center);
+  ++count;
+}
+
+const double* SketchIndex::SketchArena::BlockAt(int64_t block) const {
+  return values.data() + block * dim * kSketchBlockWidth;
+}
+
 void SketchIndex::AppendEntry(std::string id, PrivateSketch sketch) {
   Shard& shard = shards_[ShardOf(id)];
   order_.push_back(id);
   shard.by_id.emplace(id, shard.entries.size());
+  shard.arena.Append(sketch);
   shard.entries.push_back(Entry{std::move(id), std::move(sketch)});
 }
 
@@ -129,37 +160,73 @@ Result<double> SketchIndex::SquaredDistance(const std::string& id_a,
   return EstimateSquaredDistance(*a, *b);
 }
 
+Status SketchIndex::CheckQueryCompatible(const PrivateSketch& query) const {
+  if (order_.empty()) return Status::OK();
+  if (!Find(order_.front())->metadata().CompatibleWith(query.metadata())) {
+    // The exact message the per-pair estimator returns: one up-front check
+    // replaces its per-entry checks without changing the error surface
+    // (stored sketches are mutually compatible by the Add invariant).
+    return Status::FailedPrecondition(
+        "sketches come from different projections and cannot be compared");
+  }
+  return Status::OK();
+}
+
+std::vector<SketchIndex::Neighbor> SketchIndex::ScanShardTopK(
+    const Shard& shard, const PrivateSketch& query, int64_t top_n) const {
+  const SketchArena& arena = shard.arena;
+  BoundedTopK<Neighbor, bool (*)(const Neighbor&, const Neighbor&)> topk(
+      top_n, NeighborLess);
+  topk.Reserve(arena.count);
+  const double* q = query.values().data();
+  const double query_center = query.metadata().noise_center;
+  double dist[kSketchBlockWidth];
+  for (int64_t base = 0; base < arena.count; base += kSketchBlockWidth) {
+    const int64_t width =
+        std::min<int64_t>(kSketchBlockWidth, arena.count - base);
+    EstimateSquaredDistanceBlock(q, arena.dim, query_center,
+                                 arena.BlockAt(base / kSketchBlockWidth),
+                                 arena.noise_centers.data() + base, width,
+                                 dist);
+    for (int64_t t = 0; t < width; ++t) {
+      const Entry& e = shard.entries[static_cast<size_t>(base + t)];
+      if (topk.Full()) {
+        // Reject without copying the id unless the candidate NeighborLess-
+        // beats the current worst survivor.
+        const Neighbor& worst = topk.Worst();
+        if (dist[t] > worst.squared_distance ||
+            (dist[t] == worst.squared_distance && e.id >= worst.id)) {
+          continue;
+        }
+      }
+      topk.Push(Neighbor{e.id, dist[t]});
+    }
+  }
+  return topk.TakeSorted();
+}
+
 Result<std::vector<SketchIndex::Neighbor>> SketchIndex::NearestNeighbors(
     const PrivateSketch& query, int64_t top_n, ThreadPool* pool) const {
   if (top_n < 1) {
     return Status::InvalidArgument("top_n must be >= 1");
   }
-  // Scan shards concurrently into per-shard slots; the merge below imposes
-  // the deterministic (distance, id) total order, so neither shard layout
-  // nor scheduling can show through in the result.
+  DPJL_RETURN_IF_ERROR(CheckQueryCompatible(query));
+  // Blocked arena scan per shard, each keeping its own bounded top_n; the
+  // merge below imposes the deterministic (distance, id) total order, so
+  // neither shard layout nor scheduling can show through in the result.
+  // The global top_n is contained in the union of per-shard top_n sets, so
+  // this equals sorting every distance and truncating.
   std::vector<std::vector<Neighbor>> partial(shards_.size());
-  std::vector<Status> shard_status(shards_.size());
   ForEachShard(pool, [&](size_t s) {
-    partial[s].reserve(shards_[s].entries.size());
-    for (const Entry& e : shards_[s].entries) {
-      auto dist = EstimateSquaredDistance(query, e.sketch);
-      if (!dist.ok()) {
-        shard_status[s] = dist.status();
-        return;
-      }
-      partial[s].push_back(Neighbor{e.id, *dist});
-    }
+    partial[s] = ScanShardTopK(shards_[s], query, top_n);
   });
   std::vector<Neighbor> all;
-  all.reserve(order_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    DPJL_RETURN_IF_ERROR(shard_status[s]);
-    all.insert(all.end(), partial[s].begin(), partial[s].end());
+    all.insert(all.end(), std::make_move_iterator(partial[s].begin()),
+               std::make_move_iterator(partial[s].end()));
   }
-  // Ids are unique, so (distance, id) is a strict total order and
-  // partial_sort is as deterministic as a full sort of the prefix.
+  std::sort(all.begin(), all.end(), NeighborLess);
   const auto keep = std::min<int64_t>(top_n, static_cast<int64_t>(all.size()));
-  std::partial_sort(all.begin(), all.begin() + keep, all.end(), NeighborLess);
   all.resize(static_cast<size_t>(keep));
   return all;
 }
@@ -169,25 +236,49 @@ Result<std::vector<SketchIndex::Neighbor>> SketchIndex::RangeQuery(
   if (!(radius_sq >= 0)) {
     return Status::InvalidArgument("radius must be non-negative");
   }
+  DPJL_RETURN_IF_ERROR(CheckQueryCompatible(query));
+  const double* q = query.values().data();
+  const double query_center = query.metadata().noise_center;
   std::vector<std::vector<Neighbor>> partial(shards_.size());
-  std::vector<Status> shard_status(shards_.size());
   ForEachShard(pool, [&](size_t s) {
-    for (const Entry& e : shards_[s].entries) {
-      auto dist = EstimateSquaredDistance(query, e.sketch);
-      if (!dist.ok()) {
-        shard_status[s] = dist.status();
-        return;
+    const Shard& shard = shards_[s];
+    const SketchArena& arena = shard.arena;
+    double dist[kSketchBlockWidth];
+    for (int64_t base = 0; base < arena.count; base += kSketchBlockWidth) {
+      const int64_t width =
+          std::min<int64_t>(kSketchBlockWidth, arena.count - base);
+      EstimateSquaredDistanceBlock(q, arena.dim, query_center,
+                                   arena.BlockAt(base / kSketchBlockWidth),
+                                   arena.noise_centers.data() + base, width,
+                                   dist);
+      for (int64_t t = 0; t < width; ++t) {
+        if (dist[t] <= radius_sq) {
+          partial[s].push_back(
+              Neighbor{shard.entries[static_cast<size_t>(base + t)].id,
+                       dist[t]});
+        }
       }
-      if (*dist <= radius_sq) partial[s].push_back(Neighbor{e.id, *dist});
     }
   });
   std::vector<Neighbor> hits;
   for (size_t s = 0; s < shards_.size(); ++s) {
-    DPJL_RETURN_IF_ERROR(shard_status[s]);
-    hits.insert(hits.end(), partial[s].begin(), partial[s].end());
+    hits.insert(hits.end(), std::make_move_iterator(partial[s].begin()),
+                std::make_move_iterator(partial[s].end()));
   }
   std::sort(hits.begin(), hits.end(), NeighborLess);
   return hits;
+}
+
+std::vector<double> SketchIndex::SquaredNormEstimates() const {
+  std::vector<double> estimates;
+  estimates.reserve(order_.size());
+  for (const std::string& id : order_) {
+    const Shard& shard = shards_[ShardOf(id)];
+    const size_t pos = shard.by_id.at(id);
+    estimates.push_back(shard.arena.raw_norms[pos] -
+                        shard.arena.noise_centers[pos]);
+  }
+  return estimates;
 }
 
 Result<SketchIndex::DistanceMatrix> SketchIndex::AllPairsDistances(
@@ -207,29 +298,71 @@ Result<SketchIndex::DistanceMatrix> SketchIndex::ComputeAllPairs(
     DPJL_CHECK(sketch != nullptr, "ComputeAllPairs requires non-null sketches");
   }
   const int64_t n = static_cast<int64_t>(sketches.size());
+  // Compatibility is five-field equality (an equivalence relation), so
+  // everyone-vs-first decides exactly when the former per-pair estimator
+  // checks did, with the same status and message.
+  for (int64_t i = 1; i < n; ++i) {
+    if (!sketches[0]->metadata().CompatibleWith(
+            sketches[static_cast<size_t>(i)]->metadata())) {
+      return Status::FailedPrecondition(
+          "sketches come from different projections and cannot be compared");
+    }
+  }
   DistanceMatrix matrix;
   matrix.ids = std::move(ids);
   matrix.values.assign(static_cast<size_t>(n * n), 0.0);
+  if (n == 0) return matrix;
+
+  // One flat lane-interleaved arena over the whole corpus (the callers'
+  // shard arenas don't cover the engine's cross-partition span): O(nk)
+  // packing against the O(n^2 k) pair work it accelerates.
+  const int64_t k = sketches[0]->metadata().output_dim;
+  const int64_t blocks =
+      (n + kSketchBlockWidth - 1) / kSketchBlockWidth;
+  std::vector<double> packed(
+      static_cast<size_t>(blocks * k * kSketchBlockWidth), 0.0);
+  std::vector<double> centers(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const std::vector<double>& v = sketches[static_cast<size_t>(i)]->values();
+    double* block = packed.data() +
+                    (i / kSketchBlockWidth) * k * kSketchBlockWidth;
+    const int64_t lane = i % kSketchBlockWidth;
+    for (int64_t j = 0; j < k; ++j) {
+      block[j * kSketchBlockWidth + lane] = v[static_cast<size_t>(j)];
+    }
+    centers[static_cast<size_t>(i)] =
+        sketches[static_cast<size_t>(i)]->metadata().noise_center;
+  }
 
   // Row i owns every pair (i, j), j > i, and mirrors it into (j, i); each
   // cell is written by exactly one row task, so rows parallelize freely.
-  // Grain 1 keeps the triangular row costs balanced across threads.
-  std::vector<Status> row_status(static_cast<size_t>(n));
-  ThreadPool::Run(pool, 0, n, 1, [&](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) {
-      for (int64_t j = i + 1; j < n; ++j) {
-        auto dist = EstimateSquaredDistance(*sketches[static_cast<size_t>(i)],
-                                            *sketches[static_cast<size_t>(j)]);
-        if (!dist.ok()) {
-          row_status[static_cast<size_t>(i)] = dist.status();
-          break;
+  // Tiles of kSketchBlockWidth rows walk the column blocks outer-loop
+  // first, so one packed block (k*8 doubles) stays cache-hot across the
+  // whole row tile. Every (row, block) kernel call sees the same inputs
+  // regardless of tiling, so the matrix is chunking-independent.
+  ThreadPool::Run(pool, 0, n, kSketchBlockWidth, [&](int64_t begin,
+                                                     int64_t end) {
+    double dist[kSketchBlockWidth];
+    for (int64_t b = (begin + 1) / kSketchBlockWidth; b < blocks; ++b) {
+      const int64_t col_base = b * kSketchBlockWidth;
+      const int64_t col_width =
+          std::min<int64_t>(kSketchBlockWidth, n - col_base);
+      const double* block =
+          packed.data() + b * k * kSketchBlockWidth;
+      for (int64_t i = begin; i < end; ++i) {
+        if (i + 1 >= col_base + col_width) continue;  // no j > i here
+        EstimateSquaredDistanceBlock(
+            sketches[static_cast<size_t>(i)]->values().data(), k,
+            centers[static_cast<size_t>(i)], block, centers.data() + col_base,
+            col_width, dist);
+        for (int64_t j = std::max(col_base, i + 1); j < col_base + col_width;
+             ++j) {
+          matrix.values[static_cast<size_t>(i * n + j)] = dist[j - col_base];
+          matrix.values[static_cast<size_t>(j * n + i)] = dist[j - col_base];
         }
-        matrix.values[static_cast<size_t>(i * n + j)] = *dist;
-        matrix.values[static_cast<size_t>(j * n + i)] = *dist;
       }
     }
   });
-  for (const Status& status : row_status) DPJL_RETURN_IF_ERROR(status);
   return matrix;
 }
 

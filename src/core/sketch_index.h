@@ -28,6 +28,20 @@ namespace dpjl {
 /// (distance, id) sort, and are identical for any shard count, thread
 /// count, or no pool at all.
 ///
+/// Each shard additionally maintains a *sketch arena*: a contiguous,
+/// lane-interleaved (kSketchBlockWidth-wide, the kernels.h column-block
+/// layout) SoA mirror of its entries' values plus parallel arrays of
+/// cached raw squared norms and noise centers. Queries scan the arena
+/// with the multi-candidate distance kernels — eight candidates per pass —
+/// instead of chasing per-entry heap vectors; the canonical PrivateSketch
+/// objects stay in the entries, so Find() pointers remain stable and the
+/// arena is pure scan-side state. It grows incrementally on Add/AddBatch
+/// (every insertion funnels through one append point) and is therefore
+/// rebuilt for free on Deserialize/FromPartitions, which insert through
+/// the same point. The kernels vectorize across candidate lanes only and
+/// never reassociate a reduction, so every query result is byte-identical
+/// to the per-entry scalar scan in every dispatch mode.
+///
 /// All stored sketches must be mutually compatible (same public
 /// projection); Add() enforces this. The index stores released artifacts
 /// only, so it can be operated by an untrusted aggregator without privacy
@@ -168,19 +182,52 @@ class SketchIndex {
   /// Ids in insertion order.
   const std::vector<std::string>& ids() const { return order_; }
 
+  /// Unbiased squared-norm estimates (EstimateSquaredNorm) for every stored
+  /// sketch, in insertion order. Served from the arenas' cached raw norms —
+  /// one subtraction per entry, no sketch traversal.
+  [[nodiscard]] std::vector<double> SquaredNormEstimates() const;
+
  private:
   struct Entry {
     std::string id;
     PrivateSketch sketch;
   };
+  /// The scan-side SoA mirror of one shard (see the class comment):
+  /// `values` packs entry e's coordinate j at
+  /// `values[(e / W) * dim * W + j * W + (e % W)]` with W =
+  /// kSketchBlockWidth; the tail block is zero-padded (padding lanes
+  /// compute garbage distances that scans discard). `raw_norms` and
+  /// `noise_centers` are indexed by entry position, unpadded.
+  struct SketchArena {
+    int64_t dim = 0;
+    int64_t count = 0;
+    std::vector<double> values;
+    std::vector<double> raw_norms;
+    std::vector<double> noise_centers;
+
+    void Append(const PrivateSketch& sketch);
+    const double* BlockAt(int64_t block) const;
+  };
   /// One hash partition. `entries` is a deque so Find() pointers survive
-  /// later insertions; `by_id` maps id -> position in `entries`.
+  /// later insertions; `by_id` maps id -> position in `entries`; `arena`
+  /// mirrors `entries` for blocked scans.
   struct Shard {
     std::deque<Entry> entries;
     std::unordered_map<std::string, size_t> by_id;
+    SketchArena arena;
   };
 
   size_t ShardOf(const std::string& id) const;
+
+  /// FailedPrecondition (the estimator's exact incompatibility message)
+  /// unless `query` is compatible with the stored projection — one check
+  /// per query standing in for the per-entry checks of a per-pair scan.
+  Status CheckQueryCompatible(const PrivateSketch& query) const;
+
+  /// Blocked arena scan of one shard keeping the top_n nearest to `query`,
+  /// ascending. Requires CheckQueryCompatible to have passed.
+  [[nodiscard]] std::vector<Neighbor> ScanShardTopK(
+      const Shard& shard, const PrivateSketch& query, int64_t top_n) const;
 
   /// Appends an entry assuming the caller already established id
   /// uniqueness and sketch compatibility (Add/AddBatch validation, or a

@@ -111,6 +111,29 @@ void ScaleScalar(double* v, int64_t n, double a) {
   for (int64_t i = 0; i < n; ++i) v[i] *= a;
 }
 
+void SquaredDistanceBlockScalar(const double* q, const double* c, int64_t k,
+                                int64_t width, double* out) {
+  for (int64_t t = 0; t < width; ++t) out[t] = 0.0;
+  for (int64_t j = 0; j < k; ++j) {
+    const double qj = q[j];
+    const double* cj = c + j * width;
+    for (int64_t t = 0; t < width; ++t) {
+      const double diff = qj - cj[t];
+      out[t] += diff * diff;
+    }
+  }
+}
+
+void DotBlockScalar(const double* q, const double* c, int64_t k, int64_t width,
+                    double* out) {
+  for (int64_t t = 0; t < width; ++t) out[t] = 0.0;
+  for (int64_t j = 0; j < k; ++j) {
+    const double qj = q[j];
+    const double* cj = c + j * width;
+    for (int64_t t = 0; t < width; ++t) out[t] += qj * cj[t];
+  }
+}
+
 }  // namespace internal
 
 namespace {
@@ -125,6 +148,8 @@ const KernelOps kScalarOps = {
     internal::CsrApplyBlockScalar,
     internal::SjltColumnBlockScalar,
     internal::ScaleScalar,
+    internal::SquaredDistanceBlockScalar,
+    internal::DotBlockScalar,
 };
 
 bool CpuHasAvx2() {

@@ -66,6 +66,21 @@ struct KernelOps {
 
   /// Elementwise v[i] *= a over [0, n) (FWHT/JL normalization sweeps).
   void (*scale)(double* v, int64_t n, double a);
+
+  /// Multi-candidate squared distance against one column block: for each
+  /// lane t, out[t] = sum_j (q[j] - c[j*width + t])^2, accumulated in
+  /// ascending j with one accumulator per lane — the exact operation
+  /// sequence of the scalar per-pair estimator loop. Vector tables
+  /// parallelize across lanes only; the j reduction is never reassociated,
+  /// so each lane is bit-identical to a scalar per-entry scan.
+  void (*squared_distance_block)(const double* q, const double* c, int64_t k,
+                                 int64_t width, double* out);
+
+  /// Multi-candidate dot product against one column block: for each lane t,
+  /// out[t] = sum_j q[j] * c[j*width + t], same ordering discipline as
+  /// squared_distance_block (multiply-then-add, two roundings, ascending j).
+  void (*dot_block)(const double* q, const double* c, int64_t k, int64_t width,
+                    double* out);
 };
 
 /// The table every hot path dispatches through, selected once on first use:

@@ -223,6 +223,37 @@ void SjltColumnBlockAvx512(const double* x, int64_t width, double scale,
   }
 }
 
+void SquaredDistanceBlockAvx512(const double* q, const double* c, int64_t k,
+                                int64_t width, double* out) {
+  if (width != 8) {
+    SquaredDistanceBlockAvx2(q, c, k, width, out);
+    return;
+  }
+  // One zmm accumulator holds all eight candidate lanes; the j reduction
+  // stays a single sequential accumulator per lane, as in the scalar spec.
+  __m512d acc = _mm512_setzero_pd();
+  for (int64_t j = 0; j < k; ++j) {
+    const __m512d d =
+        _mm512_sub_pd(_mm512_set1_pd(q[j]), _mm512_loadu_pd(c + j * 8));
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(d, d));
+  }
+  _mm512_storeu_pd(out, acc);
+}
+
+void DotBlockAvx512(const double* q, const double* c, int64_t k, int64_t width,
+                    double* out) {
+  if (width != 8) {
+    DotBlockAvx2(q, c, k, width, out);
+    return;
+  }
+  __m512d acc = _mm512_setzero_pd();
+  for (int64_t j = 0; j < k; ++j) {
+    acc = _mm512_add_pd(
+        acc, _mm512_mul_pd(_mm512_set1_pd(q[j]), _mm512_loadu_pd(c + j * 8)));
+  }
+  _mm512_storeu_pd(out, acc);
+}
+
 void ScaleAvx512(double* v, int64_t n, double a) {
   const __m512d va = _mm512_set1_pd(a);
   int64_t i = 0;
@@ -246,6 +277,8 @@ const KernelOps& Avx512Kernels() {
       CsrApplyBlockAvx512,
       SjltColumnBlockAvx512,
       ScaleAvx512,
+      SquaredDistanceBlockAvx512,
+      DotBlockAvx512,
   };
   return kOps;
 }

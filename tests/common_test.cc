@@ -1,10 +1,18 @@
+#include <algorithm>
+#include <cstdint>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/common/table_printer.h"
+#include "src/common/top_k.h"
+#include "src/random/rng.h"
+#include "src/random/splitmix64.h"
 
 namespace dpjl {
 namespace {
@@ -198,6 +206,96 @@ TEST(TablePrinterTest, FormattersProduceStableStrings) {
   EXPECT_EQ(FmtRatio(1.5), "x1.500");
   EXPECT_EQ(FmtBool(true), "yes");
   EXPECT_EQ(FmtBool(false), "no");
+}
+
+// ---------------------------------------------------------------------------
+// BoundedTopK: the reusable deterministic selector behind the query scans.
+// Property: for any input sequence and limit, TakeSorted() equals "sort
+// everything, truncate to limit" — including under heavy ties.
+
+constexpr uint64_t kTopKSeed = 0xD9E57A11C0FFEE00ULL;
+
+std::vector<double> SortTruncate(std::vector<double> v, int64_t limit) {
+  std::sort(v.begin(), v.end());
+  v.resize(std::min<size_t>(v.size(), static_cast<size_t>(limit)));
+  return v;
+}
+
+TEST(BoundedTopKTest, MatchesFullSortOnRandomInputs) {
+  const auto less = [](double a, double b) { return a < b; };
+  Rng rng(kTopKSeed);
+  for (int64_t n : {int64_t{0}, int64_t{1}, int64_t{7}, int64_t{8},
+                    int64_t{100}, int64_t{1000}}) {
+    for (int64_t limit : {int64_t{1}, int64_t{3}, int64_t{8}, n + 5}) {
+      std::vector<double> input(static_cast<size_t>(n));
+      for (double& v : input) v = rng.Gaussian();
+      BoundedTopK<double, decltype(less)> top(limit, less);
+      top.Reserve(n);
+      for (double v : input) top.Push(v);
+      EXPECT_EQ(top.TakeSorted(), SortTruncate(input, limit))
+          << "n=" << n << " limit=" << limit;
+    }
+  }
+}
+
+TEST(BoundedTopKTest, MatchesFullSortUnderAdversarialTies) {
+  const auto less = [](double a, double b) { return a < b; };
+  Rng rng(DeriveSeed(kTopKSeed, 1));
+  // Values drawn from a tiny alphabet: most pushes tie with the current
+  // worst survivor, the exact boundary the strictly-less replacement rule
+  // has to get right.
+  for (int64_t limit : {int64_t{1}, int64_t{4}, int64_t{17}}) {
+    std::vector<double> input(200);
+    for (double& v : input) v = static_cast<double>(rng.UniformInt(4));
+    BoundedTopK<double, decltype(less)> top(limit, less);
+    for (double v : input) top.Push(v);
+    EXPECT_EQ(top.TakeSorted(), SortTruncate(input, limit)) << limit;
+  }
+  // Degenerate: every input equal.
+  BoundedTopK<double, decltype(less)> top(5, less);
+  for (int i = 0; i < 50; ++i) top.Push(2.5);
+  EXPECT_EQ(top.TakeSorted(), std::vector<double>(5, 2.5));
+}
+
+TEST(BoundedTopKTest, TotalOrderSelectsExactSurvivorsIncludingTiedKeys) {
+  // (value, id) under a strict total order: tied values are broken by id,
+  // so the survivor *identities* — not just the value multiset — must match
+  // the full sort, whatever the push order.
+  using Item = std::pair<double, std::string>;
+  const auto less = [](const Item& a, const Item& b) { return a < b; };
+  std::vector<Item> input;
+  for (int i = 0; i < 60; ++i) {
+    input.emplace_back(static_cast<double>(i % 3),
+                       "id-" + std::to_string(i));
+  }
+  std::vector<Item> expect = input;
+  std::sort(expect.begin(), expect.end());
+  expect.resize(10);
+  for (int rotation : {0, 13, 37}) {
+    std::vector<Item> pushed = input;
+    std::rotate(pushed.begin(), pushed.begin() + rotation, pushed.end());
+    BoundedTopK<Item, decltype(less)> top(10, less);
+    for (Item& item : pushed) top.Push(std::move(item));
+    EXPECT_EQ(top.TakeSorted(), expect) << "rotation=" << rotation;
+  }
+}
+
+TEST(BoundedTopKTest, WorstTracksTheHeapFrontAndFullFlips) {
+  const auto less = [](double a, double b) { return a < b; };
+  BoundedTopK<double, decltype(less)> top(3, less);
+  EXPECT_EQ(top.size(), 0);
+  EXPECT_FALSE(top.Full());
+  top.Push(5.0);
+  EXPECT_EQ(top.Worst(), 5.0);
+  top.Push(1.0);
+  top.Push(3.0);
+  EXPECT_TRUE(top.Full());
+  EXPECT_EQ(top.Worst(), 5.0);
+  top.Push(2.0);  // evicts 5.0
+  EXPECT_EQ(top.Worst(), 3.0);
+  top.Push(9.0);  // rejected
+  EXPECT_EQ(top.Worst(), 3.0);
+  EXPECT_EQ(top.TakeSorted(), (std::vector<double>{1.0, 2.0, 3.0}));
 }
 
 }  // namespace

@@ -104,6 +104,8 @@ TEST(KernelDispatchTest, TablesAreWellFormed) {
   EXPECT_NE(active.csr_apply_block, nullptr);
   EXPECT_NE(active.sjlt_column_block, nullptr);
   EXPECT_NE(active.scale, nullptr);
+  EXPECT_NE(active.squared_distance_block, nullptr);
+  EXPECT_NE(active.dot_block, nullptr);
 }
 
 TEST(KernelDispatchTest, TestOverridePinsAndRestores) {
@@ -312,6 +314,51 @@ TEST(KernelBitExactnessTest, Scale) {
       scalar.scale(expect.data(), n, 0.125);
       table->scale(got.data(), n, 0.125);
       EXPECT_TRUE(BytesEqual(expect, got)) << table->name << " scale n=" << n;
+    }
+  }
+}
+
+TEST(KernelBitExactnessTest, SquaredDistanceBlock) {
+  const KernelOps& scalar = ScalarKernels();
+  for (const KernelOps* table : VectorTables()) {
+    for (int64_t k : {int64_t{0}, int64_t{1}, int64_t{3}, int64_t{13},
+                      int64_t{96}}) {
+      for (int64_t width = 1; width <= 8; ++width) {
+        const std::vector<double> q =
+            TestVector(k, 401 + static_cast<uint64_t>(k * 8 + width));
+        const std::vector<double> block = TestVector(
+            k * width, 457 + static_cast<uint64_t>(k * 8 + width));
+        std::vector<double> expect(static_cast<size_t>(width), -1.0);
+        std::vector<double> got(static_cast<size_t>(width), -1.0);
+        scalar.squared_distance_block(q.data(), block.data(), k, width,
+                                      expect.data());
+        table->squared_distance_block(q.data(), block.data(), k, width,
+                                      got.data());
+        EXPECT_TRUE(BytesEqual(expect, got))
+            << table->name << " squared_distance_block k=" << k
+            << " width=" << width;
+      }
+    }
+  }
+}
+
+TEST(KernelBitExactnessTest, DotBlock) {
+  const KernelOps& scalar = ScalarKernels();
+  for (const KernelOps* table : VectorTables()) {
+    for (int64_t k : {int64_t{0}, int64_t{1}, int64_t{3}, int64_t{13},
+                      int64_t{96}}) {
+      for (int64_t width = 1; width <= 8; ++width) {
+        const std::vector<double> q =
+            TestVector(k, 811 + static_cast<uint64_t>(k * 8 + width));
+        const std::vector<double> block = TestVector(
+            k * width, 877 + static_cast<uint64_t>(k * 8 + width));
+        std::vector<double> expect(static_cast<size_t>(width), -1.0);
+        std::vector<double> got(static_cast<size_t>(width), -1.0);
+        scalar.dot_block(q.data(), block.data(), k, width, expect.data());
+        table->dot_block(q.data(), block.data(), k, width, got.data());
+        EXPECT_TRUE(BytesEqual(expect, got))
+            << table->name << " dot_block k=" << k << " width=" << width;
+      }
     }
   }
 }

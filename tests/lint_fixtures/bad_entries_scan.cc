@@ -1,0 +1,30 @@
+// Lint fixture: the test copies this file to <tmp>/src/core/scan.cc, where
+// the range-for over a shard `entries` container must fire
+// `entries-scan-in-query`; the same file outside src/core/ must be clean.
+// The suppressed loop below must stay silent in both locations.
+#include <deque>
+#include <string>
+
+struct Entry {
+  std::string id;
+};
+struct Shard {
+  std::deque<Entry> entries;
+};
+
+int CountByIteration(const Shard& shard) {
+  int count = 0;
+  for (const Entry& e : shard.entries) {
+    count += static_cast<int>(e.id.size());
+  }
+  return count;
+}
+
+int CountSuppressed(const Shard& shard) {
+  int count = 0;
+  // dpjl-lint: allow(entries-scan-in-query)
+  for (const Entry& e : shard.entries) {
+    count += static_cast<int>(e.id.size());
+  }
+  return count;
+}

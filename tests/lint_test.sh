@@ -57,6 +57,24 @@ if [ $? -ne 0 ]; then
   fail "raw-time-in-noise-path fired outside a noise path: $out"
 fi
 
+# entries-scan-in-query is also path-sensitive: a range-for over shard
+# entries must fire inside src/core/ (the fixture's suppressed loop stays
+# silent — exactly one finding) and not elsewhere.
+mkdir -p "$scratch/src/core"
+cp "$fixtures/bad_entries_scan.cc" "$scratch/src/core/scan.cc"
+expect_rule entries-scan-in-query --root "$scratch" src/core
+count="$("$python" "$lint" --root "$scratch" src/core 2>/dev/null \
+  | grep -c ": entries-scan-in-query: ")"
+if [ "$count" -ne 1 ]; then
+  fail "entries-scan-in-query suppression: expected 1 finding, got $count"
+fi
+cp "$fixtures/bad_entries_scan.cc" "$scratch/src/common/scan.cc"
+rm "$scratch/src/common/scheduler_clock.cc"
+out="$("$python" "$lint" --root "$scratch" src/common 2>/dev/null)"
+if [ $? -ne 0 ]; then
+  fail "entries-scan-in-query fired outside src/core/: $out"
+fi
+
 # Suppression comments must silence every rule they name.
 if ! "$python" "$lint" --root "$root" "$fixtures/good_suppressed.cc" > /dev/null 2>&1; then
   fail "suppressed fixture still reported findings"

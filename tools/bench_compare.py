@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare two benchmark JSON artifacts and flag throughput regressions.
+
+Usage:
+    bench_compare.py BEFORE.json AFTER.json [--threshold 0.10]
+
+Understands two formats:
+
+  * Google Benchmark ``--benchmark_format=json`` output: series are read
+    from the ``benchmarks`` array, keyed by ``name``, timed by
+    ``real_time`` in the reported ``time_unit``.
+  * The hand-rolled series format the plain benches emit (E14/E15):
+    ``{"series": [{...}]}`` where each entry carries either a ``name``
+    or a (topology, lane, op) triple, and a ``mean_us`` (preferred) or
+    ``p50_us`` time.
+
+Series present in both files are compared by mean time (lower is better):
+anything slower than ``before * (1 + threshold)`` is a REGRESSION and makes
+the script exit 1. Series present in only one file are listed but never
+fail the run (grids may grow). The ``lint``-style CMake target
+``bench_compare`` runs this over the committed E15 before/after artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+_TIME_UNIT_TO_US = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}
+
+
+def _series_name(entry: dict) -> str | None:
+    if "name" in entry:
+        return str(entry["name"])
+    parts = [str(entry[key]) for key in ("topology", "lane", "op") if key in entry]
+    return "/".join(parts) if parts else None
+
+
+def _series_time_us(entry: dict) -> float | None:
+    for key in ("mean_us", "p50_us", "p99_us"):
+        if key in entry:
+            return float(entry[key])
+    return None
+
+
+def load_series(path: str) -> dict[str, float]:
+    """Returns {series name: mean time in microseconds} for either format."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    series: dict[str, float] = {}
+    if isinstance(data, dict) and "benchmarks" in data:  # Google Benchmark
+        for bench in data["benchmarks"]:
+            if bench.get("run_type") == "aggregate" and bench.get(
+                    "aggregate_name") != "mean":
+                continue
+            scale = _TIME_UNIT_TO_US.get(bench.get("time_unit", "ns"))
+            if scale is None or "real_time" not in bench:
+                continue
+            series[str(bench["name"])] = float(bench["real_time"]) * scale
+        return series
+    if isinstance(data, dict) and "series" in data:  # hand-rolled benches
+        for entry in data["series"]:
+            name = _series_name(entry)
+            time_us = _series_time_us(entry)
+            if name is not None and time_us is not None:
+                series[name] = time_us
+        return series
+    raise ValueError(f"{path}: neither a Google Benchmark nor a series JSON")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("before", help="baseline JSON artifact")
+    parser.add_argument("after", help="candidate JSON artifact")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed slowdown fraction (default 0.10)")
+    args = parser.parse_args()
+
+    before = load_series(args.before)
+    after = load_series(args.after)
+    common = sorted(set(before) & set(after))
+    if not common:
+        print("bench_compare: no common series between the two files",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    print(f"{'series':<40} {'before_us':>12} {'after_us':>12} {'ratio':>8}")
+    for name in common:
+        ratio = after[name] / before[name] if before[name] > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  REGRESSION"
+            regressions.append(name)
+        elif ratio < 1.0 - args.threshold:
+            flag = "  improved"
+        print(f"{name:<40} {before[name]:>12.1f} {after[name]:>12.1f} "
+              f"{ratio:>7.2f}x{flag}")
+
+    for name in sorted(set(before) - set(after)):
+        print(f"{name:<40} only in {args.before}")
+    for name in sorted(set(after) - set(before)):
+        print(f"{name:<40} only in {args.after}")
+
+    if regressions:
+        print(f"\n{len(regressions)} series regressed by more than "
+              f"{args.threshold:.0%}: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%} "
+          f"across {len(common)} series")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
